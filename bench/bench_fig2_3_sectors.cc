@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces Figures 2 and 3: the partition of the Weyl chamber into
+ * the AshN-ND / AshN-EA+/- / AshN-ND-EXT sectors, without and with ZZ
+ * coupling. Since the terminal cannot draw a tetrahedron, the figures
+ * are rendered as Haar-measure sector fractions plus an ASCII slice of
+ * the chamber at fixed z.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "ashn/scheme.hh"
+#include "linalg/random.hh"
+#include "weyl/measure.hh"
+
+using namespace crisc;
+using weyl::WeylPoint;
+
+namespace {
+
+/** Sub-scheme the dispatcher picks, by Haar fraction. */
+void
+sectorFractions(double h, double r, int samples)
+{
+    linalg::Rng rng(42);
+    std::map<std::string, int> counts;
+    int failures = 0;
+    for (int i = 0; i < samples; ++i) {
+        const WeylPoint p = weyl::sampleChamber(rng);
+        try {
+            const ashn::GateParams g = ashn::synthesize(p, h, r);
+            counts[ashn::subSchemeName(g.scheme)]++;
+        } catch (const std::exception &) {
+            ++failures;
+        }
+    }
+    std::printf("  h=%.1fg r=%.2f :", h, r);
+    for (const auto &[name, c] : counts)
+        std::printf("  %s %5.1f%%", name.c_str(), 100.0 * c / samples);
+    if (failures > 0)
+        std::printf("  FAILURES %d", failures);
+    std::printf("\n");
+}
+
+/** ASCII slice of the chamber at fixed z: which scheme covers (x, y). */
+void
+asciiSlice(double h, double r, double z)
+{
+    std::printf("\n  chamber slice at z=%.2f (h=%.1fg, r=%.2f):  "
+                "N=ND  X=ND-EXT  +=EA+  -=EA-  .=outside\n",
+                z, h, r);
+    const int rows = 12, cols = 36;
+    for (int j = rows; j >= 0; --j) {
+        const double y = M_PI / 4.0 * j / rows;
+        std::printf("  y=%4.2f |", y);
+        for (int i = 0; i <= cols; ++i) {
+            const double x = M_PI / 4.0 * i / cols;
+            char ch = '.';
+            if (y <= x + 1e-12 && std::abs(z) <= y + 1e-12 &&
+                !(std::abs(x - M_PI / 4.0) < 1e-12 && z < 0)) {
+                try {
+                    switch (ashn::synthesize({x, y, z}, h, r).scheme) {
+                      case ashn::SubScheme::ND:
+                        ch = 'N';
+                        break;
+                      case ashn::SubScheme::NDExt:
+                        ch = 'X';
+                        break;
+                      case ashn::SubScheme::EAPlus:
+                        ch = '+';
+                        break;
+                      case ashn::SubScheme::EAMinus:
+                        ch = '-';
+                        break;
+                      default:
+                        ch = 'I';
+                    }
+                } catch (const std::exception &) {
+                    ch = '!';
+                }
+            }
+            std::putchar(ch);
+        }
+        std::printf("|\n");
+    }
+    std::printf("          x: 0 ................................. pi/4\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 2: sector fractions (Haar measure), h = 0 ===\n");
+    for (double r : {0.0, 0.5, 1.1})
+        sectorFractions(0.0, r, 800);
+
+    std::printf("\n=== Figure 3: sector fractions with ZZ coupling "
+                "(r = 0.4) ===\n");
+    for (double h : {0.2, 0.4, 0.8})
+        sectorFractions(h, 0.4 * (1.0 - h), 800);
+
+    asciiSlice(0.0, 0.6, 0.10);
+    asciiSlice(0.4, 0.3, 0.10);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths: KAK
+ * decomposition, AshN synthesis (closed-form ND and root-finding EA),
+ * CSD, Hamiltonian propagators, and statevector gate application.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ashn/scheme.hh"
+#include "circuit/circuit.hh"
+#include "linalg/expm.hh"
+#include "linalg/random.hh"
+#include "qop/gates.hh"
+#include "synth/csd.hh"
+#include "synth/two_qubit.hh"
+#include "weyl/weyl.hh"
+
+using namespace crisc;
+
+namespace {
+
+void
+BM_KakDecomposition(benchmark::State &state)
+{
+    linalg::Rng rng(1);
+    const linalg::Matrix u = linalg::haarUnitary(rng, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(weyl::kak(u));
+}
+BENCHMARK(BM_KakDecomposition);
+
+void
+BM_AshnSynthesizeND(benchmark::State &state)
+{
+    const weyl::WeylPoint p{0.6, 0.2, 0.1}; // ND sector
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ashn::synthesize(p, 0.0, 0.0));
+}
+BENCHMARK(BM_AshnSynthesizeND);
+
+void
+BM_AshnSynthesizeEA(benchmark::State &state)
+{
+    const weyl::WeylPoint p{0.6, 0.55, 0.4}; // EA sector (root finding)
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ashn::synthesize(p, 0.0, 0.0));
+}
+BENCHMARK(BM_AshnSynthesizeEA);
+
+void
+BM_AshnRealize(benchmark::State &state)
+{
+    const ashn::GateParams p = ashn::synthesize({0.6, 0.2, 0.1}, 0.0, 0.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ashn::realize(p));
+}
+BENCHMARK(BM_AshnRealize);
+
+void
+BM_Propagator4x4(benchmark::State &state)
+{
+    const linalg::Matrix h = ashn::hamiltonian(0.2, 0.5, 0.3, 0.4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::propagator(h, 1.0));
+}
+BENCHMARK(BM_Propagator4x4);
+
+void
+BM_CompileToAshn(benchmark::State &state)
+{
+    linalg::Rng rng(2);
+    const linalg::Matrix u = linalg::haarUnitary(rng, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synth::compileToAshn(u, 0.0, 1.1));
+}
+BENCHMARK(BM_CompileToAshn);
+
+void
+BM_Csd(benchmark::State &state)
+{
+    linalg::Rng rng(3);
+    const linalg::Matrix u =
+        linalg::haarUnitary(rng, std::size_t{1} << state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synth::csd(u));
+}
+BENCHMARK(BM_Csd)->Arg(3)->Arg(4);
+
+void
+BM_StatevectorTwoQubitGate(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    linalg::Rng rng(4);
+    const linalg::Matrix u = linalg::haarUnitary(rng, 4);
+    circuit::State s(n);
+    for (auto _ : state)
+        s.apply(u, {0, n - 1});
+}
+BENCHMARK(BM_StatevectorTwoQubitGate)->Arg(6)->Arg(10)->Arg(14);
+
+} // namespace
+
+BENCHMARK_MAIN();

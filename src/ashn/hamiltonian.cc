@@ -1,0 +1,65 @@
+#include "hamiltonian.hh"
+
+#include <cmath>
+
+#include "linalg/expm.hh"
+#include "qop/gates.hh"
+
+namespace crisc {
+namespace ashn {
+
+using linalg::kron;
+using qop::pauliI;
+using qop::pauliX;
+using qop::pauliY;
+using qop::pauliZ;
+
+Matrix
+hamiltonian(double h, double omega1, double omega2, double delta)
+{
+    const Matrix xi = kron(pauliX(), pauliI());
+    const Matrix ix = kron(pauliI(), pauliX());
+    const Matrix zi = kron(pauliZ(), pauliI());
+    const Matrix iz = kron(pauliI(), pauliZ());
+    return 0.5 * (qop::pauliXX() + qop::pauliYY()) +
+           (0.5 * h) * qop::pauliZZ() + omega1 * (xi + ix) +
+           omega2 * (xi - ix) + delta * (zi + iz);
+}
+
+Matrix
+hamiltonianWithPhases(double h, double a1, double phi1, double a2,
+                      double phi2, double delta)
+{
+    const Matrix xi = kron(pauliX(), pauliI());
+    const Matrix yi = kron(pauliY(), pauliI());
+    const Matrix ix = kron(pauliI(), pauliX());
+    const Matrix iy = kron(pauliI(), pauliY());
+    const Matrix zi = kron(pauliZ(), pauliI());
+    const Matrix iz = kron(pauliI(), pauliZ());
+    return 0.5 * (qop::pauliXX() + qop::pauliYY()) +
+           (0.5 * h) * qop::pauliZZ() -
+           (0.5 * a1) * (std::cos(phi1) * xi - std::sin(phi1) * yi) -
+           (0.5 * a2) * (std::cos(phi2) * ix - std::sin(phi2) * iy) +
+           delta * (zi + iz);
+}
+
+Matrix
+evolve(double tau, double h, double omega1, double omega2, double delta)
+{
+    return linalg::propagator(hamiltonian(h, omega1, omega2, delta), tau);
+}
+
+double
+driveA1(double omega1, double omega2)
+{
+    return -2.0 * (omega1 + omega2);
+}
+
+double
+driveA2(double omega1, double omega2)
+{
+    return -2.0 * (omega1 - omega2);
+}
+
+} // namespace ashn
+} // namespace crisc

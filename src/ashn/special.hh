@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Special gate classes (paper Table 1 and Sec. 6.4): closed-form AshN
+ * parameters for the [CNOT], [SWAP] and [B] local-equivalence classes,
+ * the ZZ-robust CNOT formula, and the drive-strength bounds of Eq. (4.4)
+ * and Theorem 5.
+ */
+
+#ifndef CRISC_ASHN_SPECIAL_HH
+#define CRISC_ASHN_SPECIAL_HH
+
+#include "scheme.hh"
+
+namespace crisc {
+namespace ashn {
+
+/** Chamber point of the CNOT class: (pi/4, 0, 0). */
+WeylPoint cnotPoint();
+/** Chamber point of the SWAP class: (pi/4, pi/4, pi/4). */
+WeylPoint swapPoint();
+/** Chamber point of the B-gate class: (pi/4, pi/8, 0). */
+WeylPoint bGatePoint();
+
+/**
+ * Closed-form parameters for a [CNOT] class gate in the presence of ZZ
+ * coupling (Sec. 6.4): tau = pi/2,
+ *   A1 = -( sqrt(16-(1-h)^2) + sqrt(16-(1+h)^2) ) / 2,
+ *   A2 = -( sqrt(16-(1-h)^2) - sqrt(16-(1+h)^2) ) / 2,  delta = 0.
+ * At h = 0 the realized gate is exactly the Molmer-Sorensen XX(pi/2).
+ */
+GateParams cnotClassParams(double h = 0.0);
+
+/** [SWAP] class parameters (Table 1 row 2, solved via AshN-EA-). */
+GateParams swapClassParams(double h = 0.0);
+
+/** [B] class parameters (Table 1 row 3, solved via AshN-ND). */
+GateParams bClassParams(double h = 0.0);
+
+/**
+ * Drive-strength bound of Eq. (4.4) for h = 0 and cutoff r > 0:
+ * max{|A1|/2, |A2|/2, |delta|} <= pi/r + 1/2 (units of g).
+ */
+double driveBound(double r);
+
+/**
+ * Uniform drive bound of Theorem 5 at cutoff r = (1-|h|) pi/2:
+ * 2(1+|h|)/(1-|h|) + 1/2.
+ */
+double driveBoundGeneral(double h);
+
+/**
+ * Closed-form Haar-average AshN gate time T_avg(r) at h = 0 (paper
+ * App. A.7.1): the chamber average of
+ *   T(x,y,z;r) = max{2x, x+y+|z|} if >= r, else pi - 2x
+ * under the Haar-induced measure. T_avg(0) = 7 pi/16 - 19/(180 pi).
+ */
+double averageGateTime(double r);
+
+} // namespace ashn
+} // namespace crisc
+
+#endif // CRISC_ASHN_SPECIAL_HH

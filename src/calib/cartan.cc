@@ -1,0 +1,191 @@
+#include "cartan.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/decomp.hh"
+#include "qop/gates.hh"
+
+namespace crisc {
+namespace calib {
+
+namespace {
+
+double
+wrapToPi(double a)
+{
+    while (a > M_PI)
+        a -= 2.0 * M_PI;
+    while (a <= -M_PI)
+        a += 2.0 * M_PI;
+    return a;
+}
+
+/** Sorted (wrapped) eigenphase multiset of exp(2i eta.Sigma). */
+std::array<double, 4>
+doubledSpectrum(const WeylPoint &p)
+{
+    std::array<double, 4> s{wrapToPi(2.0 * (p.x - p.y + p.z)),
+                            wrapToPi(2.0 * (p.x + p.y - p.z)),
+                            wrapToPi(2.0 * (-p.x - p.y - p.z)),
+                            wrapToPi(2.0 * (-p.x + p.y + p.z))};
+    std::sort(s.begin(), s.end());
+    return s;
+}
+
+/** Circular distance between sorted phase multisets. */
+double
+spectrumDistance(const std::array<double, 4> &a,
+                 const std::array<double, 4> &b)
+{
+    double m = 0.0;
+    for (int i = 0; i < 4; ++i)
+        m = std::max(m, std::abs(wrapToPi(a[i] - b[i])));
+    return m;
+}
+
+/**
+ * Reconstructs the canonical chamber point from the four measured
+ * eigenphases of gamma(U). The eigenvalue-to-branch assignment and the
+ * mod-pi ambiguity of each half-phase are resolved by brute force,
+ * keeping the candidate whose doubled spectrum best reproduces the
+ * measurement.
+ */
+WeylPoint
+coordinatesFromPhases(const std::array<double, 4> &raw_phases,
+                      const WeylPoint *hint)
+{
+    // gamma(e^{i t} U) = e^{2 i t} gamma(U): the measured phases carry
+    // an unknown global offset (det(U)^2), removed here by scanning the
+    // pi/4 grid of candidate offsets around the mean phase.
+    const double base = (raw_phases[0] + raw_phases[1] + raw_phases[2] +
+                         raw_phases[3]) /
+                        4.0;
+    struct Candidate
+    {
+        double err;
+        WeylPoint p;
+    };
+    std::vector<Candidate> candidates;
+    double best = 1e300;
+    WeylPoint bestPoint;
+    for (int m = 0; m < 8; ++m) {
+        const double shift = base + m * M_PI / 4.0;
+        std::array<double, 4> phases;
+        for (int i = 0; i < 4; ++i)
+            phases[i] = wrapToPi(raw_phases[i] - shift);
+        std::array<double, 4> target = phases;
+        std::sort(target.begin(), target.end());
+
+        std::array<int, 4> perm{0, 1, 2, 3};
+        do {
+            for (int branch = 0; branch < 16; ++branch) {
+                std::array<double, 4> lam;
+                for (int i = 0; i < 4; ++i) {
+                    lam[i] = phases[perm[i]] / 2.0 +
+                             (((branch >> i) & 1) ? M_PI : 0.0);
+                }
+                const WeylPoint raw{(lam[0] + lam[1]) / 2.0,
+                                    (lam[1] + lam[3]) / 2.0,
+                                    (lam[0] + lam[3]) / 2.0};
+                const WeylPoint p = weyl::canonicalizePoint(raw);
+                const double err =
+                    spectrumDistance(doubledSpectrum(p), target);
+                if (err < best) {
+                    best = err;
+                    bestPoint = p;
+                }
+                if (err < 1e-5)
+                    candidates.push_back({err, p});
+            }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+    // Among the (possibly several) valid square roots, prefer the one
+    // closest to the calibration target.
+    if (hint != nullptr && !candidates.empty()) {
+        const WeylPoint want = weyl::canonicalizePoint(*hint);
+        double bestDist = 1e300;
+        for (const Candidate &c : candidates) {
+            const double d = weyl::pointDistance(c.p, want);
+            if (d < bestDist) {
+                bestDist = d;
+                bestPoint = c.p;
+            }
+        }
+    }
+    return bestPoint;
+}
+
+/**
+ * Finite-shot estimate of an eigenphase via robust (power-doubling)
+ * phase estimation: at each power 2^k the angle of gamma^{2^k} is read
+ * out from two quadrature measurements and used to refine the estimate.
+ */
+double
+estimatePhase(double phi, int bits, int shots, linalg::Rng &rng)
+{
+    auto measureAngle = [&](double power_phase) {
+        int n0 = 0, n1 = 0;
+        const double p_cos = 0.5 * (1.0 + std::cos(power_phase));
+        const double p_sin = 0.5 * (1.0 + std::sin(power_phase));
+        for (int s = 0; s < shots; ++s) {
+            if (rng.uniform() < p_cos)
+                ++n0;
+            if (rng.uniform() < p_sin)
+                ++n1;
+        }
+        const double c = 2.0 * n0 / shots - 1.0;
+        const double s = 2.0 * n1 / shots - 1.0;
+        return std::atan2(s, c);
+    };
+
+    double est = measureAngle(phi);
+    for (int k = 1; k < bits; ++k) {
+        const double power = std::ldexp(1.0, k);
+        const double measured = measureAngle(power * phi);
+        const double predicted = power * est;
+        est += wrapToPi(measured - predicted) / power;
+    }
+    return wrapToPi(est);
+}
+
+} // namespace
+
+Matrix
+cartanDouble(const Matrix &u)
+{
+    return u * thetaInverse(u);
+}
+
+Matrix
+thetaInverse(const Matrix &u)
+{
+    return qop::pauliYY() * u.transpose() * qop::pauliYY();
+}
+
+WeylPoint
+coordinatesFromCartanDouble(const Matrix &u, const WeylPoint *hint)
+{
+    const linalg::ComplexEigenSystem es = linalg::eigNormal(cartanDouble(u));
+    std::array<double, 4> phases;
+    for (int i = 0; i < 4; ++i)
+        phases[i] = std::arg(es.values[i]);
+    return coordinatesFromPhases(phases, hint);
+}
+
+WeylPoint
+estimateCoordinates(const Matrix &u, int bits, int shots, linalg::Rng &rng,
+                    const WeylPoint *hint)
+{
+    const linalg::ComplexEigenSystem es = linalg::eigNormal(cartanDouble(u));
+    std::array<double, 4> phases;
+    for (int i = 0; i < 4; ++i)
+        phases[i] = estimatePhase(std::arg(es.values[i]), bits, shots, rng);
+    return coordinatesFromPhases(phases, hint);
+}
+
+} // namespace calib
+} // namespace crisc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Interaction-coefficient calibration via the Cartan double (paper
+ * Sec. 5.1): gamma(U) = U . YY . U^T . YY has spectrum exp(2i eta.Sigma)
+ * up to local conjugation, so the Weyl chamber point of U reduces to
+ * phase estimation on gamma(U) — without ever learning the single-qubit
+ * corrections.
+ */
+
+#ifndef CRISC_CALIB_CARTAN_HH
+#define CRISC_CALIB_CARTAN_HH
+
+#include "linalg/random.hh"
+#include "weyl/weyl.hh"
+
+namespace crisc {
+namespace calib {
+
+using linalg::Matrix;
+using weyl::WeylPoint;
+
+/** The Cartan double gamma(U) = U . YY . U^T . YY. */
+Matrix cartanDouble(const Matrix &u);
+
+/** Theta^{-1}(U) = YY U^T YY, so that gamma(U) = U Theta^{-1}(U). */
+Matrix thetaInverse(const Matrix &u);
+
+/**
+ * Exact interaction coefficients recovered from the Cartan double's
+ * eigenphases (divided by two and canonicalized). gamma(U) only
+ * determines exp(2i eta.Sigma), whose square root is ambiguous in
+ * general; pass the intended chamber point as @p hint (as a real
+ * calibration would) to disambiguate. Without a hint, some valid square
+ * root is returned.
+ */
+WeylPoint coordinatesFromCartanDouble(const Matrix &u,
+                                      const WeylPoint *hint = nullptr);
+
+/**
+ * Simulated phase-estimation readout: estimates the eigenphases of
+ * gamma(U) from finite-shot measurement statistics (iterative phase
+ * estimation on each eigenvector: at precision bit k the circuit
+ * measures the phase of gamma^(2^k)), then reconstructs the chamber
+ * point. Statistical noise scales as 1/sqrt(shots).
+ *
+ * @param u two-qubit unitary under calibration.
+ * @param bits phase bits (precision 2^-bits turns).
+ * @param shots measurement shots per bit.
+ */
+WeylPoint estimateCoordinates(const Matrix &u, int bits, int shots,
+                              linalg::Rng &rng,
+                              const WeylPoint *hint = nullptr);
+
+} // namespace calib
+} // namespace crisc
+
+#endif // CRISC_CALIB_CARTAN_HH

@@ -1,0 +1,110 @@
+#include "frb.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ashn/scheme.hh"
+#include "weyl/measure.hh"
+
+namespace crisc {
+namespace calib {
+
+using linalg::Complex;
+using linalg::CVector;
+using linalg::Matrix;
+
+namespace {
+
+/** Applies a uniformly random non-identity two-qubit Pauli in place. */
+void
+applyRandomPauli(CVector &psi, linalg::Rng &rng)
+{
+    const std::size_t pick = 1 + rng.index(15);
+    // Pauli string encoded base 4 over two qubits; build the 4x4 and
+    // apply directly (the state is only 4-dimensional).
+    static const Complex table[4][2][2] = {
+        {{1, 0}, {0, 1}},                         // I
+        {{0, 1}, {1, 0}},                         // X
+        {{0, Complex{0, -1}}, {Complex{0, 1}, 0}}, // Y
+        {{1, 0}, {0, -1}},                        // Z
+    };
+    const std::size_t p0 = pick / 4, p1 = pick % 4;
+    CVector out(4, Complex{0.0, 0.0});
+    for (std::size_t r0 = 0; r0 < 2; ++r0)
+        for (std::size_t r1 = 0; r1 < 2; ++r1)
+            for (std::size_t c0 = 0; c0 < 2; ++c0)
+                for (std::size_t c1 = 0; c1 < 2; ++c1) {
+                    const Complex amp =
+                        table[p0][r0][c0] * table[p1][r1][c1];
+                    if (amp != Complex{0.0, 0.0})
+                        out[2 * r0 + r1] += amp * psi[2 * c0 + c1];
+                }
+    psi = out;
+}
+
+} // namespace
+
+FrbResult
+runFrb(const FrbNoise &noise, const std::vector<int> &lengths, int sequences,
+       double r, linalg::Rng &rng)
+{
+    if (lengths.empty() || sequences <= 0)
+        throw std::invalid_argument("runFrb: empty experiment");
+
+    FrbResult out;
+    for (const int m : lengths) {
+        double survival = 0.0;
+        for (int seq = 0; seq < sequences; ++seq) {
+            CVector psi{1.0, 0.0, 0.0, 0.0};
+            Matrix idealTotal = Matrix::identity(4);
+            for (int g = 0; g < m; ++g) {
+                const weyl::WeylPoint p = weyl::sampleChamber(rng);
+                const ashn::GateParams params = ashn::synthesize(p, 0.0, r);
+                idealTotal = ashn::realize(params) * idealTotal;
+                // Executed pulse passes through the transfer model.
+                const Matrix executed =
+                    hardwareRealize(params, noise.transfer);
+                psi = executed * psi;
+                const double pDep =
+                    noise.depolarizingPerTime * params.tau;
+                if (pDep > 0.0 && rng.uniform() < pDep)
+                    applyRandomPauli(psi, rng);
+            }
+            // Perfect inversion of the ideal sequence.
+            psi = idealTotal.dagger() * psi;
+            survival += std::norm(psi[0]);
+        }
+        out.decay.push_back({m, survival / sequences});
+    }
+
+    // Fit survival = A p^m + 1/4 by linear regression on
+    // log(survival - 1/4).
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    int pts = 0;
+    for (const FrbPoint &pt : out.decay) {
+        const double excess = pt.survival - 0.25;
+        if (excess <= 1e-6)
+            continue;
+        const double y = std::log(excess);
+        sx += pt.length;
+        sy += y;
+        sxx += static_cast<double>(pt.length) * pt.length;
+        sxy += pt.length * y;
+        ++pts;
+    }
+    if (pts >= 2) {
+        const double slope =
+            (pts * sxy - sx * sy) / (pts * sxx - sx * sx);
+        out.fittedDecayRate = std::exp(slope);
+    } else {
+        out.fittedDecayRate = 1.0;
+    }
+    // Standard RB relation for dimension d = 4:
+    // F_avg = 1 - (1 - p)(d - 1)/d.
+    out.averageGateFidelity =
+        1.0 - (1.0 - out.fittedDecayRate) * 3.0 / 4.0;
+    return out;
+}
+
+} // namespace calib
+} // namespace crisc

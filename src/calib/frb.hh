@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fully-randomized-benchmarking-style average-fidelity estimation for
+ * the continuous AshN gate set (paper Sec. 5.2 / Sec. 7). Random
+ * sequences of Haar-class gates are executed through a noisy channel
+ * (depolarizing strength proportional to each pulse's gate time, plus
+ * optional coherent control error) and inverted exactly; the survival
+ * probability decays exponentially with sequence length and the fitted
+ * decay gives the average gate fidelity of the instruction set as a
+ * whole — the objective the paper proposes for black-box calibration.
+ */
+
+#ifndef CRISC_CALIB_FRB_HH
+#define CRISC_CALIB_FRB_HH
+
+#include <functional>
+
+#include "linalg/random.hh"
+#include "model.hh"
+
+namespace crisc {
+namespace calib {
+
+/** Noise model applied around every executed AshN pulse. */
+struct FrbNoise
+{
+    /** Two-qubit depolarizing probability per unit gate time (1/g). */
+    double depolarizingPerTime = 0.0;
+    /** Control transfer model (identity gains = no coherent error). */
+    ControlModel transfer;
+};
+
+/** One decay point of an FRB experiment. */
+struct FrbPoint
+{
+    int length;        ///< number of random gates in the sequence.
+    double survival;   ///< mean ground-state return probability.
+};
+
+/** Result of an FRB run. */
+struct FrbResult
+{
+    std::vector<FrbPoint> decay;
+    double fittedDecayRate;     ///< p in survival ~ A p^m + B.
+    double averageGateFidelity; ///< from p: F = p + (1-p) / d^2... see .cc
+};
+
+/**
+ * Runs the FRB experiment: for each sequence length m, executes
+ * @p sequences random Weyl-chamber gates (each realized by the AshN
+ * scheme under cutoff r, passed through the noise model), appends the
+ * exact inverse of the accumulated ideal unitary, and records the
+ * return probability to |00>.
+ */
+FrbResult runFrb(const FrbNoise &noise, const std::vector<int> &lengths,
+                 int sequences, double r, linalg::Rng &rng);
+
+} // namespace calib
+} // namespace crisc
+
+#endif // CRISC_CALIB_FRB_HH

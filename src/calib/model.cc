@@ -1,0 +1,143 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cartan.hh"
+
+namespace crisc {
+namespace calib {
+
+Matrix
+hardwareRealize(const GateParams &params, const ControlModel &truth)
+{
+    return ashn::evolve(params.tau, params.h,
+                        truth.gainOmega1 * params.omega1,
+                        truth.gainOmega2 * params.omega2,
+                        truth.gainDelta * params.delta);
+}
+
+double
+modelObjective(const ControlModel &assumed, const ControlModel &truth,
+               const std::vector<WeylPoint> &probes, double h, double r)
+{
+    double total = 0.0;
+    for (const WeylPoint &target : probes) {
+        GateParams p = ashn::synthesize(target, h, r);
+        // Pre-compensate with the assumed gains.
+        p.omega1 /= assumed.gainOmega1;
+        p.omega2 /= assumed.gainOmega2;
+        p.delta /= assumed.gainDelta;
+        const Matrix realized = hardwareRealize(p, truth);
+        const WeylPoint measured =
+            coordinatesFromCartanDouble(realized, &target);
+        total += weyl::pointDistance(measured,
+                                     weyl::canonicalizePoint(target));
+    }
+    return total / static_cast<double>(probes.size());
+}
+
+CalibrationResult
+calibrateInstructionSet(const ControlModel &truth,
+                        const std::vector<WeylPoint> &probes, double h,
+                        double r)
+{
+    CalibrationResult out;
+    const ControlModel unit;
+    out.objectiveBefore = modelObjective(unit, truth, probes, h, r);
+
+    auto f = [&](const std::vector<double> &x) {
+        if (x[0] < 0.05 || x[1] < 0.05 || x[2] < 0.05)
+            return 10.0; // keep the simplex away from degenerate gains
+        return modelObjective({x[0], x[1], x[2]}, truth, probes, h, r);
+    };
+    int evals = 0;
+    const std::vector<double> best =
+        nelderMead(f, {1.0, 1.0, 1.0}, 0.08, 400, 1e-10, &evals);
+    out.fitted = {best[0], best[1], best[2]};
+    out.objectiveAfter = modelObjective(out.fitted, truth, probes, h, r);
+    out.evaluations = evals;
+    return out;
+}
+
+std::vector<double>
+nelderMead(const std::function<double(const std::vector<double> &)> &f,
+           std::vector<double> start, double step, int max_evals, double tol,
+           int *evals_out)
+{
+    const std::size_t n = start.size();
+    struct Vertex
+    {
+        std::vector<double> x;
+        double v;
+    };
+    int evals = 0;
+    auto eval = [&](const std::vector<double> &x) {
+        ++evals;
+        return f(x);
+    };
+
+    std::vector<Vertex> simplex;
+    simplex.push_back({start, eval(start)});
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> x = start;
+        x[i] += step;
+        simplex.push_back({x, eval(x)});
+    }
+    auto bySorted = [&] {
+        std::sort(simplex.begin(), simplex.end(),
+                  [](const Vertex &a, const Vertex &b) { return a.v < b.v; });
+    };
+    bySorted();
+
+    while (evals < max_evals && simplex.back().v - simplex.front().v > tol) {
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t k = 0; k < n; ++k)
+                centroid[k] += simplex[i].x[k];
+        }
+        for (auto &c : centroid)
+            c /= static_cast<double>(n);
+
+        auto blend = [&](double coef) {
+            std::vector<double> x(n);
+            for (std::size_t k = 0; k < n; ++k)
+                x[k] = centroid[k] + coef * (simplex.back().x[k] - centroid[k]);
+            return x;
+        };
+
+        const std::vector<double> xr = blend(-1.0);
+        const double vr = eval(xr);
+        if (vr < simplex.front().v) {
+            const std::vector<double> xe = blend(-2.0);
+            const double ve = eval(xe);
+            simplex.back() = ve < vr ? Vertex{xe, ve} : Vertex{xr, vr};
+        } else if (vr < simplex[n - 1].v) {
+            simplex.back() = {xr, vr};
+        } else {
+            const std::vector<double> xc = blend(0.5);
+            const double vc = eval(xc);
+            if (vc < simplex.back().v) {
+                simplex.back() = {xc, vc};
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 1; i <= n; ++i) {
+                    for (std::size_t k = 0; k < n; ++k) {
+                        simplex[i].x[k] = 0.5 * (simplex[i].x[k] +
+                                                 simplex[0].x[k]);
+                    }
+                    simplex[i].v = eval(simplex[i].x);
+                }
+            }
+        }
+        bySorted();
+    }
+    if (evals_out != nullptr)
+        *evals_out = evals;
+    return simplex.front().x;
+}
+
+} // namespace calib
+} // namespace crisc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instruction-set calibration (paper Sec. 5.2): instead of calibrating
+ * each of the continuum of AshN gates individually, fit a small control
+ * model (here: per-channel transfer gains) that maps ideal gate
+ * parameters to control parameters, using a coordinate-error objective
+ * measured through the Cartan double — the simulated counterpart of the
+ * paper's FRB-driven black-box model fit.
+ */
+
+#ifndef CRISC_CALIB_MODEL_HH
+#define CRISC_CALIB_MODEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "ashn/scheme.hh"
+#include "linalg/random.hh"
+
+namespace crisc {
+namespace calib {
+
+using ashn::GateParams;
+using linalg::Matrix;
+using weyl::WeylPoint;
+
+/**
+ * Linear transfer model of the control electronics: the hardware
+ * applies gain * requested on each drive channel. Ideal hardware has
+ * all gains equal to one.
+ */
+struct ControlModel
+{
+    double gainOmega1 = 1.0;
+    double gainOmega2 = 1.0;
+    double gainDelta = 1.0;
+};
+
+/**
+ * "Hardware" evolution: the pulse requested by @p params passes through
+ * the (true, unknown to the user) transfer model before driving the
+ * qubits.
+ */
+Matrix hardwareRealize(const GateParams &params, const ControlModel &truth);
+
+/**
+ * Mean chamber-coordinate error over probe targets when compiling with
+ * an assumed model @p assumed against hardware @p truth: each probe is
+ * synthesized with Algorithm 1, pre-compensated by the assumed gains,
+ * executed through the truth model and measured via the Cartan double.
+ */
+double modelObjective(const ControlModel &assumed, const ControlModel &truth,
+                      const std::vector<WeylPoint> &probes, double h,
+                      double r);
+
+/** Outcome of the instruction-set calibration loop. */
+struct CalibrationResult
+{
+    ControlModel fitted;
+    double objectiveBefore; ///< mean coordinate error with unit gains.
+    double objectiveAfter;  ///< after the model fit.
+    int evaluations;        ///< objective evaluations spent.
+};
+
+/**
+ * Fits the control model by Nelder-Mead on the coordinate-error
+ * objective. With a faithful model class the fitted gains converge to
+ * the hardware's and the whole continuous gate set is calibrated at
+ * once.
+ */
+CalibrationResult calibrateInstructionSet(const ControlModel &truth,
+                                          const std::vector<WeylPoint> &probes,
+                                          double h, double r);
+
+/**
+ * Generic Nelder-Mead minimizer (used by the calibration loop and
+ * available to benchmarks).
+ *
+ * @return the best parameter vector found.
+ */
+std::vector<double>
+nelderMead(const std::function<double(const std::vector<double> &)> &f,
+           std::vector<double> start, double step, int max_evals,
+           double tol, int *evals_out = nullptr);
+
+} // namespace calib
+} // namespace crisc
+
+#endif // CRISC_CALIB_MODEL_HH

@@ -1,0 +1,55 @@
+#include "pulse.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ashn/hamiltonian.hh"
+#include "linalg/expm.hh"
+
+namespace crisc {
+namespace calib {
+
+double
+envelope(EnvelopeShape shape, double t, double duration, double rise)
+{
+    if (t < 0.0 || t > duration)
+        return 0.0;
+    if (shape == EnvelopeShape::Square || rise <= 0.0)
+        return 1.0;
+    const double from_end = duration - t;
+    if (t >= rise && from_end >= rise)
+        return 1.0;
+    const double edge = std::min(t, from_end);
+    if (shape == EnvelopeShape::Trapezoid)
+        return edge / rise;
+    // Raised-cosine ramp.
+    return 0.5 * (1.0 - std::cos(M_PI * edge / rise));
+}
+
+std::function<Matrix(double)>
+pulsedHamiltonian(double h, double omega1, double omega2, double delta,
+                  EnvelopeShape shape, double duration, double rise)
+{
+    return [=](double t) {
+        const double a = envelope(shape, t, duration, rise);
+        return ashn::hamiltonian(h, a * omega1, a * omega2, a * delta);
+    };
+}
+
+Matrix
+evolveTimeDependent(const std::function<Matrix(double)> &h, double T,
+                    int steps)
+{
+    if (steps <= 0)
+        throw std::invalid_argument("evolveTimeDependent: steps <= 0");
+    const double dt = T / steps;
+    Matrix u = Matrix::identity(h(0.0).rows());
+    for (int k = 0; k < steps; ++k) {
+        const double tm = (k + 0.5) * dt;
+        u = linalg::propagator(h(tm), dt) * u;
+    }
+    return u;
+}
+
+} // namespace calib
+} // namespace crisc

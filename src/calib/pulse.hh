@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pulse envelopes and time-dependent Hamiltonian evolution. The AshN
+ * analysis assumes perfect square pulses; real AWGs produce ramped
+ * envelopes, making the Hamiltonian time dependent (paper Sec. 5). This
+ * module provides the distorted-envelope simulator used to study and
+ * calibrate that imperfection.
+ */
+
+#ifndef CRISC_CALIB_PULSE_HH
+#define CRISC_CALIB_PULSE_HH
+
+#include <functional>
+
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace calib {
+
+using linalg::Matrix;
+
+/** Envelope shapes for the drive amplitude. */
+enum class EnvelopeShape
+{
+    Square,     ///< ideal instantaneous rise/fall.
+    Trapezoid,  ///< linear ramps of the given rise time.
+    CosineRamp, ///< raised-cosine ramps of the given rise time.
+};
+
+/**
+ * Scalar envelope at time t in [0, duration]: the plateau value is 1 and
+ * the ramps occupy [0, rise] and [duration - rise, duration].
+ */
+double envelope(EnvelopeShape shape, double t, double duration, double rise);
+
+/**
+ * Time-dependent AshN Hamiltonian whose drive terms (Omega1, Omega2,
+ * delta) are modulated by a common envelope while the always-on coupling
+ * g/2 (XX+YY) + h/2 ZZ stays constant.
+ */
+std::function<Matrix(double)>
+pulsedHamiltonian(double h, double omega1, double omega2, double delta,
+                  EnvelopeShape shape, double duration, double rise);
+
+/**
+ * Time-ordered propagator Texp(-i int_0^T H(t) dt) via the exponential
+ * midpoint rule (second order, exactly unitary).
+ */
+Matrix evolveTimeDependent(const std::function<Matrix(double)> &h, double T,
+                           int steps = 400);
+
+} // namespace calib
+} // namespace crisc
+
+#endif // CRISC_CALIB_PULSE_HH

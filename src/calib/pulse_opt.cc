@@ -1,0 +1,66 @@
+#include "pulse_opt.hh"
+
+#include <cmath>
+
+#include "model.hh"
+
+namespace crisc {
+namespace calib {
+
+using linalg::Matrix;
+
+Matrix
+distortedEvolve(const GateParams &params, EnvelopeShape shape, double rise,
+                int steps)
+{
+    const auto h = pulsedHamiltonian(params.h, params.omega1, params.omega2,
+                                     params.delta, shape, params.tau, rise);
+    return evolveTimeDependent(h, params.tau, steps);
+}
+
+PulseOptResult
+optimizePulse(const WeylPoint &target, double h, double r,
+              EnvelopeShape shape, double rise)
+{
+    const WeylPoint want = weyl::canonicalizePoint(target);
+    const GateParams seed = ashn::synthesize(want, h, r);
+
+    auto coordError = [&](const GateParams &p) {
+        const Matrix u = distortedEvolve(p, shape, rise);
+        return weyl::pointDistance(weyl::weylCoordinates(u), want);
+    };
+
+    PulseOptResult out;
+    out.errorBefore = coordError(seed);
+
+    // Optimize (tau, Omega1, Omega2, delta) around the seed. The ramps
+    // steal pulse area, so the optimum typically stretches tau slightly
+    // and rebalances the drives.
+    auto objective = [&](const std::vector<double> &x) {
+        if (x[0] < rise * 2.0 || x[0] > seed.tau + M_PI)
+            return 10.0; // pulse must at least fit its ramps
+        GateParams p = seed;
+        p.tau = x[0];
+        p.omega1 = x[1];
+        p.omega2 = x[2];
+        p.delta = x[3];
+        return coordError(p);
+    };
+    int evals = 0;
+    const std::vector<double> best = nelderMead(
+        objective, {seed.tau, seed.omega1, seed.omega2, seed.delta}, 0.05,
+        600, 1e-12, &evals);
+
+    out.params = seed;
+    out.params.tau = best[0];
+    out.params.omega1 = best[1];
+    out.params.omega2 = best[2];
+    out.params.delta = best[3];
+    out.errorAfter = coordError(out.params);
+    out.evaluations = evals;
+    out.realized = distortedEvolve(out.params, shape, rise);
+    return out;
+}
+
+} // namespace calib
+} // namespace crisc

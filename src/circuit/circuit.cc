@@ -1,0 +1,137 @@
+#include "circuit.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qop/gates.hh"
+
+namespace crisc {
+namespace circuit {
+
+void
+Circuit::add(Matrix op, std::vector<std::size_t> qubits, std::string label)
+{
+    const std::size_t dim = std::size_t{1} << qubits.size();
+    if (op.rows() != dim || op.cols() != dim)
+        throw std::invalid_argument("Circuit::add: operator size mismatch");
+    for (std::size_t q : qubits)
+        if (q >= nQubits_)
+            throw std::invalid_argument("Circuit::add: qubit out of range");
+    gates_.push_back({std::move(op), std::move(qubits), std::move(label)});
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    if (other.numQubits() != nQubits_)
+        throw std::invalid_argument("Circuit::append: register mismatch");
+    for (const Gate &g : other.gates())
+        gates_.push_back(g);
+}
+
+std::size_t
+Circuit::twoQubitCount() const
+{
+    std::size_t n = 0;
+    for (const Gate &g : gates_)
+        if (g.qubits.size() >= 2)
+            ++n;
+    return n;
+}
+
+Matrix
+Circuit::toUnitary() const
+{
+    const std::size_t dim = std::size_t{1} << nQubits_;
+    Matrix u = Matrix::identity(dim);
+    for (const Gate &g : gates_)
+        u = qop::embed(g.op, g.qubits, nQubits_) * u;
+    return u;
+}
+
+State::State(std::size_t num_qubits)
+    : nQubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Complex{0.0, 0.0})
+{
+    amps_[0] = 1.0;
+}
+
+void
+State::apply(const Matrix &op, const std::vector<std::size_t> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t gdim = std::size_t{1} << k;
+    if (op.rows() != gdim || op.cols() != gdim)
+        throw std::invalid_argument("State::apply: operator size mismatch");
+
+    // Bit positions of the addressed qubits (qubit 0 is msb).
+    std::vector<std::size_t> pos(k);
+    for (std::size_t b = 0; b < k; ++b) {
+        if (qubits[b] >= nQubits_)
+            throw std::invalid_argument("State::apply: qubit out of range");
+        pos[b] = nQubits_ - 1 - qubits[b];
+    }
+
+    // Iterate over all assignments of the untouched qubits and apply the
+    // dense k-qubit block to each amplitude group.
+    const std::size_t dim = amps_.size();
+    std::size_t mask = 0;
+    for (std::size_t p : pos)
+        mask |= std::size_t{1} << p;
+
+    std::vector<Complex> in(gdim), out(gdim);
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue; // visit each group once, at its all-zeros member
+        std::vector<std::size_t> idx(gdim);
+        for (std::size_t g = 0; g < gdim; ++g) {
+            std::size_t address = base;
+            for (std::size_t b = 0; b < k; ++b)
+                if ((g >> (k - 1 - b)) & 1)
+                    address |= std::size_t{1} << pos[b];
+            idx[g] = address;
+            in[g] = amps_[address];
+        }
+        for (std::size_t r = 0; r < gdim; ++r) {
+            Complex s = 0.0;
+            for (std::size_t c = 0; c < gdim; ++c)
+                s += op(r, c) * in[c];
+            out[r] = s;
+        }
+        for (std::size_t g = 0; g < gdim; ++g)
+            amps_[idx[g]] = out[g];
+    }
+}
+
+void
+State::run(const Circuit &c)
+{
+    if (c.numQubits() != nQubits_)
+        throw std::invalid_argument("State::run: register mismatch");
+    for (const Gate &g : c.gates())
+        apply(g.op, g.qubits);
+}
+
+double
+State::probability(std::size_t index) const
+{
+    return std::norm(amps_.at(index));
+}
+
+std::vector<double>
+State::probabilities() const
+{
+    std::vector<double> p(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+double
+State::fidelityWith(const State &other) const
+{
+    return std::norm(linalg::dot(other.amps_, amps_));
+}
+
+} // namespace circuit
+} // namespace crisc

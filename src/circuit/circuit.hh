@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal gate-list circuit IR and a dense statevector simulator. This
+ * is the substrate for the quantum-volume experiments (Fig. 7), the
+ * synthesis verification, and the example applications.
+ *
+ * Qubit 0 is the most significant bit of a basis index, matching
+ * qop::embed and the tensor order kron(q0, q1, ...).
+ */
+
+#ifndef CRISC_CIRCUIT_CIRCUIT_HH
+#define CRISC_CIRCUIT_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace circuit {
+
+using linalg::Complex;
+using linalg::CVector;
+using linalg::Matrix;
+
+/** One gate application: a dense unitary on an ordered set of qubits. */
+struct Gate
+{
+    Matrix op;                        ///< 2^k x 2^k unitary.
+    std::vector<std::size_t> qubits;  ///< register qubits, msq first.
+    std::string label;                ///< for printing/debugging.
+};
+
+/** A gate-list circuit on a fixed number of qubits. */
+class Circuit
+{
+  public:
+    explicit Circuit(std::size_t num_qubits) : nQubits_(num_qubits) {}
+
+    std::size_t numQubits() const { return nQubits_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+
+    /** Appends a gate; validates qubit indices and operator size. */
+    void add(Matrix op, std::vector<std::size_t> qubits,
+             std::string label = "");
+
+    /** Appends all gates of another circuit on the same register. */
+    void append(const Circuit &other);
+
+    /** Number of gates acting on >= 2 qubits. */
+    std::size_t twoQubitCount() const;
+
+    /** Builds the full 2^n x 2^n unitary (for small n; tests/synthesis). */
+    Matrix toUnitary() const;
+
+  private:
+    std::size_t nQubits_;
+    std::vector<Gate> gates_;
+};
+
+/**
+ * Dense statevector of n qubits, starting in |0...0>.
+ */
+class State
+{
+  public:
+    explicit State(std::size_t num_qubits);
+
+    std::size_t numQubits() const { return nQubits_; }
+    const CVector &amplitudes() const { return amps_; }
+
+    /** Applies a k-qubit gate in place (k small; matrix is 2^k x 2^k). */
+    void apply(const Matrix &op, const std::vector<std::size_t> &qubits);
+
+    /** Runs a whole circuit. */
+    void run(const Circuit &c);
+
+    /** Probability of the computational basis outcome @p index. */
+    double probability(std::size_t index) const;
+
+    /** All 2^n outcome probabilities. */
+    std::vector<double> probabilities() const;
+
+    /** Squared overlap |<other|this>|^2. */
+    double fidelityWith(const State &other) const;
+
+  private:
+    std::size_t nQubits_;
+    CVector amps_;
+};
+
+} // namespace circuit
+} // namespace crisc
+
+#endif // CRISC_CIRCUIT_CIRCUIT_HH

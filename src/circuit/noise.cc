@@ -1,0 +1,49 @@
+#include "noise.hh"
+
+#include <stdexcept>
+
+#include "qop/gates.hh"
+
+namespace crisc {
+namespace circuit {
+
+const Matrix &
+pauliByIndex(std::size_t idx)
+{
+    switch (idx) {
+      case 0:
+        return qop::pauliI();
+      case 1:
+        return qop::pauliX();
+      case 2:
+        return qop::pauliY();
+      case 3:
+        return qop::pauliZ();
+      default:
+        throw std::invalid_argument("pauliByIndex: index out of range");
+    }
+}
+
+void
+applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
+                  double p, linalg::Rng &rng)
+{
+    if (p <= 0.0)
+        return;
+    if (rng.uniform() >= p)
+        return;
+    const std::size_t k = qubits.size();
+    const std::size_t nPaulis = (std::size_t{1} << (2 * k)) - 1;
+    // Uniform non-identity Pauli string, encoded base 4.
+    const std::size_t pick = 1 + rng.index(nPaulis);
+    std::size_t code = pick;
+    for (std::size_t b = 0; b < k; ++b) {
+        const std::size_t single = code % 4;
+        code /= 4;
+        if (single != 0)
+            state.apply(pauliByIndex(single), {qubits[b]});
+    }
+}
+
+} // namespace circuit
+} // namespace crisc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Stochastic Pauli (depolarizing) noise for trajectory simulation,
+ * matching the error model of the paper's quantum-volume study
+ * (Sec. 6.3): every native gate suffers depolarizing noise whose rate
+ * is proportional to its gate time.
+ */
+
+#ifndef CRISC_CIRCUIT_NOISE_HH
+#define CRISC_CIRCUIT_NOISE_HH
+
+#include "circuit.hh"
+#include "linalg/random.hh"
+
+namespace crisc {
+namespace circuit {
+
+/**
+ * One shot of k-qubit depolarizing noise on a statevector: with
+ * probability p a uniformly random non-identity k-qubit Pauli is
+ * applied — the standard stochastic unravelling of the depolarizing
+ * channel with error parameter p.
+ */
+void applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
+                       double p, linalg::Rng &rng);
+
+/** The single-qubit Pauli with index 0..3 = I, X, Y, Z. */
+const Matrix &pauliByIndex(std::size_t idx);
+
+} // namespace circuit
+} // namespace crisc
+
+#endif // CRISC_CIRCUIT_NOISE_HH

@@ -1,0 +1,64 @@
+#include "expm.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "decomp.hh"
+
+namespace crisc {
+namespace linalg {
+
+Matrix
+propagator(const Matrix &hamiltonian, double t)
+{
+    const EigenSystem es = eighHermitian(hamiltonian);
+    const std::size_t n = hamiltonian.rows();
+    Matrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        d(i, i) = std::polar(1.0, -es.values[i] * t);
+    return es.vectors * d * es.vectors.dagger();
+}
+
+Matrix
+expm(const Matrix &a)
+{
+    if (!a.isSquare())
+        throw std::invalid_argument("expm: matrix not square");
+    const std::size_t n = a.rows();
+    // Scale so the Taylor series converges fast, then square back up.
+    const double nrm = a.frobeniusNorm();
+    int squarings = 0;
+    if (nrm > 0.5)
+        squarings = static_cast<int>(std::ceil(std::log2(nrm / 0.5)));
+    const double factor = std::ldexp(1.0, -squarings);
+    Matrix b = factor * a;
+
+    Matrix term = Matrix::identity(n);
+    Matrix sum = term;
+    for (int k = 1; k <= 40; ++k) {
+        term = term * b;
+        term *= Complex{1.0 / k, 0.0};
+        sum += term;
+        if (term.maxAbs() < 1e-18)
+            break;
+    }
+    for (int s = 0; s < squarings; ++s)
+        sum = sum * sum;
+    return sum;
+}
+
+Matrix
+logUnitary(const Matrix &u)
+{
+    const ComplexEigenSystem es = eigNormal(u);
+    const std::size_t n = u.rows();
+    Matrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // u = exp(i H): eigenphase of u is the eigenvalue of H.
+        d(i, i) = std::arg(es.values[i]);
+    }
+    return es.vectors * d * es.vectors.dagger();
+}
+
+} // namespace linalg
+} // namespace crisc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Matrix exponentials: exact Hermitian propagators (the workhorse for
+ * Hamiltonian evolution) and a scaling-and-squaring exponential for
+ * general matrices (used by tests and by the matrix logarithm).
+ */
+
+#ifndef CRISC_LINALG_EXPM_HH
+#define CRISC_LINALG_EXPM_HH
+
+#include "matrix.hh"
+
+namespace crisc {
+namespace linalg {
+
+/**
+ * Propagator exp(-i H t) for Hermitian H, computed exactly through the
+ * eigendecomposition of H. This is the evolution primitive used by every
+ * AshN gate construction.
+ */
+Matrix propagator(const Matrix &hamiltonian, double t);
+
+/** exp(A) for a general square matrix via scaling and squaring. */
+Matrix expm(const Matrix &a);
+
+/**
+ * Principal matrix logarithm of a *unitary* matrix: returns Hermitian H
+ * with  u = exp(i H)  and eigenvalues of H in (-pi, pi].
+ */
+Matrix logUnitary(const Matrix &u);
+
+} // namespace linalg
+} // namespace crisc
+
+#endif // CRISC_LINALG_EXPM_HH

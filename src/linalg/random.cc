@@ -1,0 +1,55 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "decomp.hh"
+
+namespace crisc {
+namespace linalg {
+
+Matrix
+ginibre(Rng &rng, std::size_t n)
+{
+    Matrix g(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            g(r, c) = Complex{rng.gaussian(), rng.gaussian()};
+    return g;
+}
+
+Matrix
+haarUnitary(Rng &rng, std::size_t n)
+{
+    const QRResult f = qr(ginibre(rng, n));
+    Matrix u = f.q;
+    // Fix the phase ambiguity of QR so the distribution is exactly Haar
+    // (Mezzadri's recipe): multiply each column by the phase of the
+    // corresponding diagonal entry of R.
+    for (std::size_t c = 0; c < n; ++c) {
+        const Complex d = f.r(c, c);
+        const double ad = std::abs(d);
+        u.scaleCol(c, ad > 0.0 ? d / ad : Complex{1.0, 0.0});
+    }
+    return u;
+}
+
+Matrix
+haarSU(Rng &rng, std::size_t n)
+{
+    Matrix u = haarUnitary(rng, n);
+    const Complex d = u.det();
+    // Divide out an n-th root of the determinant's phase.
+    const Complex root = std::polar(1.0, -std::arg(d) / static_cast<double>(n));
+    u *= root;
+    return u;
+}
+
+Matrix
+randomHermitian(Rng &rng, std::size_t n)
+{
+    const Matrix g = ginibre(rng, n);
+    return 0.5 * (g + g.dagger());
+}
+
+} // namespace linalg
+} // namespace crisc

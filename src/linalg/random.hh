@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproducible randomness: a seeded RNG plus Haar-distributed unitaries
+ * (the workload generator behind every "Haar random gate" experiment in
+ * the paper) and random Hermitian matrices for tests.
+ */
+
+#ifndef CRISC_LINALG_RANDOM_HH
+#define CRISC_LINALG_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+#include "matrix.hh"
+
+namespace crisc {
+namespace linalg {
+
+/**
+ * Seeded random source for all stochastic components. A plain wrapper
+ * around std::mt19937_64 so experiment harnesses can be replayed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return unit_(engine_); }
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /** Standard normal variate. */
+    double gaussian() { return normal_(engine_); }
+
+    /** Uniform integer in [0, n). */
+    std::size_t index(std::size_t n)
+    {
+        std::uniform_int_distribution<std::size_t> d(0, n - 1);
+        return d(engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> unit_{0.0, 1.0};
+    std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/** Complex Ginibre matrix: i.i.d. standard complex Gaussian entries. */
+Matrix ginibre(Rng &rng, std::size_t n);
+
+/** Haar-distributed U(n) element (Ginibre + QR with phase fixing). */
+Matrix haarUnitary(Rng &rng, std::size_t n);
+
+/** Haar-distributed SU(n) element: haarUnitary with the determinant fixed. */
+Matrix haarSU(Rng &rng, std::size_t n);
+
+/** Random Hermitian matrix with Gaussian entries (for tests). */
+Matrix randomHermitian(Rng &rng, std::size_t n);
+
+} // namespace linalg
+} // namespace crisc
+
+#endif // CRISC_LINALG_RANDOM_HH

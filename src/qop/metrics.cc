@@ -1,0 +1,96 @@
+#include "metrics.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crisc {
+namespace qop {
+
+using linalg::kron;
+
+double
+traceDistance(const Matrix &u, const Matrix &v)
+{
+    const double d = static_cast<double>(u.rows());
+    return 1.0 - std::abs((u.dagger() * v).trace()) / d;
+}
+
+double
+averageGateFidelity(const Matrix &u, const Matrix &v)
+{
+    const double d = static_cast<double>(u.rows());
+    const double overlap = std::abs((u.dagger() * v).trace());
+    return (overlap * overlap + d) / (d * d + d);
+}
+
+bool
+equalUpToGlobalPhase(const Matrix &u, const Matrix &v, double tol)
+{
+    if (u.rows() != v.rows() || u.cols() != v.cols())
+        return false;
+    return linalg::maxAbsDiff(alignGlobalPhase(u, v), v) <= tol;
+}
+
+Matrix
+alignGlobalPhase(const Matrix &u, const Matrix &ref)
+{
+    const Complex overlap = (ref.dagger() * u).trace();
+    if (std::abs(overlap) < 1e-12)
+        return u;
+    return std::polar(1.0, -std::arg(overlap)) * u;
+}
+
+Matrix
+toSU(const Matrix &u)
+{
+    const double n = static_cast<double>(u.rows());
+    const Complex d = u.det();
+    return std::polar(1.0, -std::arg(d) / n) * u;
+}
+
+std::pair<Matrix, Matrix>
+factorKron(const Matrix &m, double tol)
+{
+    if (m.rows() != 4 || m.cols() != 4)
+        throw std::invalid_argument("factorKron: expected a 4x4 matrix");
+    // View m as 2x2 blocks M_{kl} = a_{kl} * b and recover b from the
+    // strongest block, then a from overlaps with b.
+    Matrix blocks[2][2];
+    double best = -1.0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            blocks[i][j] = m.block(2 * i, 2 * i + 2, 2 * j, 2 * j + 2);
+            const double nrm = blocks[i][j].frobeniusNorm();
+            if (nrm > best) {
+                best = nrm;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    Matrix b = blocks[bi][bj];
+    const double bn2 = b.frobeniusNorm() * b.frobeniusNorm();
+    Matrix a(2, 2);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            a(i, j) = (b.dagger() * blocks[i][j]).trace() / bn2;
+
+    // Normalize b to unit determinant and push the scalar into a; then
+    // fix a's scale so the product reproduces m exactly.
+    const Complex db = b.det();
+    if (std::abs(db) < 1e-12)
+        throw std::runtime_error("factorKron: singular tensor factor");
+    const Complex sq = std::sqrt(db);
+    b = (Complex{1.0, 0.0} / sq) * b;
+    a = sq * a;
+    const Complex corr = (kron(a, b).dagger() * m).trace() / 4.0;
+    a = corr * a;
+
+    if (linalg::maxAbsDiff(kron(a, b), m) > tol)
+        throw std::runtime_error("factorKron: matrix is not a product");
+    return {a, b};
+}
+
+} // namespace qop
+} // namespace crisc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate comparison metrics and phase utilities: the trace distance used in
+ * the paper's synthesis experiments, global-phase alignment, average gate
+ * fidelity, and factorization of product operators A (x) B.
+ */
+
+#ifndef CRISC_QOP_METRICS_HH
+#define CRISC_QOP_METRICS_HH
+
+#include <utility>
+
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace qop {
+
+using linalg::Complex;
+using linalg::Matrix;
+
+/**
+ * The paper's decomposition error (Sec. 6.2):
+ * dist(U, V) = 1 - |tr(U^dagger V)| / 2^n.
+ */
+double traceDistance(const Matrix &u, const Matrix &v);
+
+/**
+ * Average gate fidelity between two unitaries of dimension d:
+ * F_avg = (|tr(U^dagger V)|^2 + d) / (d^2 + d).
+ */
+double averageGateFidelity(const Matrix &u, const Matrix &v);
+
+/** @return true when u = e^{i phi} v for some phase, to tolerance. */
+bool equalUpToGlobalPhase(const Matrix &u, const Matrix &v,
+                          double tol = 1e-9);
+
+/** Rescales @p u by a phase so that tr(ref^dagger u) is real positive. */
+Matrix alignGlobalPhase(const Matrix &u, const Matrix &ref);
+
+/** Divides out the determinant phase, mapping U(n) onto SU(n). */
+Matrix toSU(const Matrix &u);
+
+/**
+ * Factors a two-qubit product operator m = a (x) b into its one-qubit
+ * tensor factors (up to the inherent scalar ambiguity, resolved so both
+ * factors have unit determinant when m is unitary).
+ *
+ * @throws std::runtime_error when m is not a product to tolerance.
+ */
+std::pair<Matrix, Matrix> factorKron(const Matrix &m, double tol = 1e-6);
+
+} // namespace qop
+} // namespace crisc
+
+#endif // CRISC_QOP_METRICS_HH

@@ -1,0 +1,192 @@
+#include "qv.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ashn/scheme.hh"
+#include "ashn/special.hh"
+#include "circuit/circuit.hh"
+#include "circuit/noise.hh"
+#include "qop/gates.hh"
+#include "route/route.hh"
+
+namespace crisc {
+namespace qv {
+
+using circuit::State;
+using linalg::Matrix;
+using weyl::WeylPoint;
+
+namespace {
+
+constexpr double kCzTime = M_PI / std::numbers::sqrt2;
+constexpr double kSqiswTime = M_PI / 4.0;
+
+/** One physical two-qubit block with its native-gate noise budget. */
+struct PhysicalOp
+{
+    std::size_t a, b;   ///< physical qubits.
+    Matrix u;           ///< ideal 4x4 unitary applied.
+    int natives;        ///< native gates used to realize it.
+    double p2;          ///< two-qubit depolarizing rate per native gate.
+};
+
+} // namespace
+
+const char *
+nativeSetName(NativeSet s)
+{
+    switch (s) {
+      case NativeSet::CZ:
+        return "CZ";
+      case NativeSet::SQiSW:
+        return "SQiSW";
+      case NativeSet::AshN:
+        return "AshN";
+    }
+    return "?";
+}
+
+CompiledCost
+compileCost(NativeSet native, const WeylPoint &p, double ashn_cutoff)
+{
+    switch (native) {
+      case NativeSet::CZ:
+        return {3, 3.0 * kCzTime};
+      case NativeSet::SQiSW: {
+        // Huang et al. (ref. [30]): two applications cover the region
+        // x >= y + |z|; three are needed otherwise.
+        const int k = p.x >= p.y + std::abs(p.z) - 1e-9 ? 2 : 3;
+        return {k, k * kSqiswTime};
+      }
+      case NativeSet::AshN:
+        return {1, ashn::gateTime(p, 0.0, ashn_cutoff)};
+    }
+    throw std::invalid_argument("compileCost: unknown native set");
+}
+
+QvResult
+heavyOutputExperiment(const QvConfig &config)
+{
+    const std::size_t d = config.width;
+    const std::size_t dim = std::size_t{1} << d;
+    linalg::Rng rng(config.seed);
+    const route::CouplingMap map = route::CouplingMap::gridFor(d);
+    const WeylPoint swapPoint = ashn::swapPoint();
+
+    double heavySum = 0.0;
+    double gateSum = 0.0, timeSum = 0.0, swapSum = 0.0;
+
+    for (int ci = 0; ci < config.circuits; ++ci) {
+        // --- Model circuit: d layers of random pairings + Haar SU(4).
+        struct Block
+        {
+            std::size_t a, b;
+            Matrix u;
+        };
+        std::vector<std::vector<Block>> layers(d);
+        std::vector<std::size_t> order(d);
+        for (std::size_t i = 0; i < d; ++i)
+            order[i] = i;
+        for (std::size_t layer = 0; layer < d; ++layer) {
+            std::shuffle(order.begin(), order.end(), rng.engine());
+            for (std::size_t k = 0; k + 1 < d; k += 2) {
+                layers[layer].push_back(
+                    {order[k], order[k + 1], linalg::haarSU(rng, 4)});
+            }
+        }
+
+        // --- Ideal output distribution and heavy set.
+        State ideal(d);
+        for (const auto &layer : layers)
+            for (const Block &blk : layer)
+                ideal.apply(blk.u, {blk.a, blk.b});
+        std::vector<double> probs = ideal.probabilities();
+        std::vector<double> sorted = probs;
+        std::nth_element(sorted.begin(), sorted.begin() + dim / 2,
+                         sorted.end());
+        // Median of 2^d values (even count): mean of the middle pair.
+        const double upper = sorted[dim / 2];
+        const double lower =
+            *std::max_element(sorted.begin(), sorted.begin() + dim / 2);
+        const double median = 0.5 * (upper + lower);
+        std::vector<bool> heavy(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            heavy[i] = probs[i] > median;
+
+        // --- Compile onto the grid with SWAP routing.
+        route::Layout layout(d);
+        std::vector<PhysicalOp> ops;
+        const CompiledCost swapCost =
+            compileCost(config.native, swapPoint, config.ashnCutoff);
+        for (const auto &layer : layers) {
+            for (const Block &blk : layer) {
+                const auto swaps =
+                    route::routePair(map, layout, blk.a, blk.b);
+                for (const auto &sw : swaps) {
+                    ops.push_back({sw.first, sw.second, qop::swapGate(),
+                                   swapCost.nativeGates,
+                                   config.czError *
+                                       (swapCost.totalTime /
+                                        swapCost.nativeGates) /
+                                       kCzTime});
+                    swapSum += 1.0;
+                }
+                const WeylPoint p = weyl::weylCoordinates(blk.u);
+                const CompiledCost cost =
+                    compileCost(config.native, p, config.ashnCutoff);
+                ops.push_back({layout.physicalOf(blk.a),
+                               layout.physicalOf(blk.b), blk.u,
+                               cost.nativeGates,
+                               config.czError *
+                                   (cost.totalTime / cost.nativeGates) /
+                                   kCzTime});
+                gateSum += cost.nativeGates + swaps.size() *
+                                                  swapCost.nativeGates;
+                timeSum += cost.totalTime + swaps.size() *
+                                                swapCost.totalTime;
+            }
+        }
+
+        // --- Noisy trajectories.
+        for (int t = 0; t < config.trajectories; ++t) {
+            State s(d);
+            for (const PhysicalOp &op : ops) {
+                s.apply(op.u, {op.a, op.b});
+                for (int g = 0; g < op.natives; ++g) {
+                    circuit::applyDepolarizing(s, {op.a, op.b}, op.p2, rng);
+                    circuit::applyDepolarizing(
+                        s, {op.a}, config.singleQubitError, rng);
+                    circuit::applyDepolarizing(
+                        s, {op.b}, config.singleQubitError, rng);
+                }
+            }
+            // Heavy output probability, translating physical indices
+            // back to logical bitstrings through the final layout.
+            double hop = 0.0;
+            for (std::size_t phys = 0; phys < dim; ++phys) {
+                std::size_t logical = 0;
+                for (std::size_t l = 0; l < d; ++l) {
+                    const std::size_t pq = layout.physicalOf(l);
+                    const std::size_t bit = (phys >> (d - 1 - pq)) & 1;
+                    logical |= bit << (d - 1 - l);
+                }
+                if (heavy[logical])
+                    hop += s.probability(phys);
+            }
+            heavySum += hop;
+        }
+    }
+
+    QvResult out;
+    out.heavyOutputProportion =
+        heavySum / (config.circuits * config.trajectories);
+    out.avgNativeGatesPerCircuit = gateSum / config.circuits;
+    out.avgTwoQubitTimePerCircuit = timeSum / config.circuits;
+    out.avgSwapsPerCircuit = swapSum / config.circuits;
+    return out;
+}
+
+} // namespace qv
+} // namespace crisc

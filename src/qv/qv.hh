@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quantum-volume harness (paper Sec. 6.3, Figure 7): square random
+ * model circuits on a 2D-grid device, compiled to one of three native
+ * instruction sets, with per-native-gate depolarizing noise whose rate
+ * is proportional to the gate time. The figure of merit is the heavy
+ * output proportion (Cross et al.).
+ */
+
+#ifndef CRISC_QV_QV_HH
+#define CRISC_QV_QV_HH
+
+#include <cstddef>
+
+#include "linalg/random.hh"
+#include "weyl/weyl.hh"
+
+namespace crisc {
+namespace qv {
+
+/** Native two-qubit instruction set used for compilation. */
+enum class NativeSet
+{
+    CZ,     ///< flux-tuned CZ: 3 per SU(4), gate time pi/sqrt(2).
+    SQiSW,  ///< flux-tuned sqrt(iSWAP): 2 or 3 per SU(4), time pi/4 each.
+    AshN,   ///< AshN pulse: 1 per SU(4), time from the scheme.
+};
+
+/** Experiment configuration. */
+struct QvConfig
+{
+    std::size_t width = 4;       ///< circuit size d (qubits and layers).
+    NativeSet native = NativeSet::AshN;
+    double ashnCutoff = 0.0;     ///< r for the AshN gate-time function.
+    double czError = 0.01;       ///< two-qubit depolarizing rate of a CZ.
+    double singleQubitError = 0.001;
+    int circuits = 40;           ///< random model circuits to average.
+    int trajectories = 20;       ///< noise trajectories per circuit.
+    std::uint64_t seed = 1;
+};
+
+/** Aggregated result for one configuration. */
+struct QvResult
+{
+    double heavyOutputProportion = 0.0;
+    double avgNativeGatesPerCircuit = 0.0;
+    double avgTwoQubitTimePerCircuit = 0.0; ///< units of 1/g.
+    double avgSwapsPerCircuit = 0.0;
+};
+
+/** Runs the heavy-output experiment for one configuration. */
+QvResult heavyOutputExperiment(const QvConfig &config);
+
+/**
+ * Native gate count and total two-qubit interaction time (units of 1/g)
+ * to compile a gate with the given canonical Weyl point.
+ */
+struct CompiledCost
+{
+    int nativeGates;
+    double totalTime;
+};
+CompiledCost compileCost(NativeSet native, const weyl::WeylPoint &p,
+                         double ashn_cutoff);
+
+/** Human-readable instruction-set name. */
+const char *nativeSetName(NativeSet s);
+
+} // namespace qv
+} // namespace crisc
+
+#endif // CRISC_QV_QV_HH

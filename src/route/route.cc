@@ -1,0 +1,154 @@
+#include "route.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace crisc {
+namespace route {
+
+CouplingMap
+CouplingMap::grid(std::size_t rows, std::size_t cols)
+{
+    CouplingMap m;
+    m.adjacency_.resize(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t q = r * cols + c;
+            if (c + 1 < cols) {
+                m.adjacency_[q].push_back(q + 1);
+                m.adjacency_[q + 1].push_back(q);
+            }
+            if (r + 1 < rows) {
+                m.adjacency_[q].push_back(q + cols);
+                m.adjacency_[q + cols].push_back(q);
+            }
+        }
+    }
+    return m;
+}
+
+CouplingMap
+CouplingMap::gridFor(std::size_t n)
+{
+    std::size_t rows = static_cast<std::size_t>(std::floor(std::sqrt(
+        static_cast<double>(n))));
+    rows = std::max<std::size_t>(rows, 1);
+    const std::size_t cols = (n + rows - 1) / rows;
+    CouplingMap full = grid(rows, cols);
+    if (rows * cols == n)
+        return full;
+    // Truncate to the first n qubits (keeps the row-major prefix, which
+    // is connected).
+    CouplingMap m;
+    m.adjacency_.resize(n);
+    for (std::size_t q = 0; q < n; ++q)
+        for (std::size_t nb : full.adjacency_[q])
+            if (nb < n)
+                m.adjacency_[q].push_back(nb);
+    return m;
+}
+
+CouplingMap
+CouplingMap::full(std::size_t n)
+{
+    CouplingMap m;
+    m.adjacency_.resize(n);
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b)
+            if (a != b)
+                m.adjacency_[a].push_back(b);
+    return m;
+}
+
+bool
+CouplingMap::adjacent(std::size_t a, std::size_t b) const
+{
+    const auto &nb = adjacency_[a];
+    return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+std::vector<std::size_t>
+CouplingMap::shortestPath(std::size_t a, std::size_t b) const
+{
+    if (a == b)
+        return {a};
+    std::vector<std::size_t> prev(numQubits(), numQubits());
+    std::queue<std::size_t> frontier;
+    frontier.push(a);
+    prev[a] = a;
+    while (!frontier.empty()) {
+        const std::size_t q = frontier.front();
+        frontier.pop();
+        for (std::size_t nb : adjacency_[q]) {
+            if (prev[nb] != numQubits())
+                continue;
+            prev[nb] = q;
+            if (nb == b) {
+                std::vector<std::size_t> path{b};
+                std::size_t cur = b;
+                while (cur != a) {
+                    cur = prev[cur];
+                    path.push_back(cur);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(nb);
+        }
+    }
+    throw std::runtime_error("shortestPath: graph is disconnected");
+}
+
+Layout::Layout(std::size_t n) : toPhysical_(n), toLogical_(n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        toPhysical_[i] = i;
+        toLogical_[i] = i;
+    }
+}
+
+std::size_t
+Layout::physicalOf(std::size_t logical) const
+{
+    return toPhysical_.at(logical);
+}
+
+std::size_t
+Layout::logicalOf(std::size_t physical) const
+{
+    return toLogical_.at(physical);
+}
+
+void
+Layout::swapPhysical(std::size_t a, std::size_t b)
+{
+    const std::size_t la = toLogical_.at(a);
+    const std::size_t lb = toLogical_.at(b);
+    std::swap(toLogical_[a], toLogical_[b]);
+    toPhysical_[la] = b;
+    toPhysical_[lb] = a;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+routePair(const CouplingMap &map, Layout &layout, std::size_t logical_a,
+          std::size_t logical_b)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> swaps;
+    std::size_t pa = layout.physicalOf(logical_a);
+    const std::size_t pb = layout.physicalOf(logical_b);
+    if (map.adjacent(pa, pb) || pa == pb)
+        return swaps;
+    const std::vector<std::size_t> path = map.shortestPath(pa, pb);
+    // Walk a along the path until adjacent to b.
+    for (std::size_t step = 1; step + 1 < path.size(); ++step) {
+        layout.swapPhysical(pa, path[step]);
+        swaps.emplace_back(pa, path[step]);
+        pa = path[step];
+    }
+    return swaps;
+}
+
+} // namespace route
+} // namespace crisc

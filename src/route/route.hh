@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coupling maps and SWAP routing. The quantum-volume study (paper
+ * Sec. 6.3) assumes a 2D grid device, so every two-qubit block of a
+ * model circuit must be routed: one endpoint is walked next to the
+ * other with SWAPs along a shortest grid path.
+ */
+
+#ifndef CRISC_ROUTE_ROUTE_HH
+#define CRISC_ROUTE_ROUTE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace crisc {
+namespace route {
+
+/** An undirected device connectivity graph. */
+class CouplingMap
+{
+  public:
+    /** Grid of rows x cols physical qubits, row-major indexing. */
+    static CouplingMap grid(std::size_t rows, std::size_t cols);
+
+    /** Most-square grid holding at least n qubits, truncated to n. */
+    static CouplingMap gridFor(std::size_t n);
+
+    /** Fully connected device (routing becomes free). */
+    static CouplingMap full(std::size_t n);
+
+    std::size_t numQubits() const { return adjacency_.size(); }
+    const std::vector<std::size_t> &neighbours(std::size_t q) const
+    {
+        return adjacency_[q];
+    }
+    bool adjacent(std::size_t a, std::size_t b) const;
+
+    /** BFS shortest path from a to b, inclusive of both endpoints. */
+    std::vector<std::size_t> shortestPath(std::size_t a, std::size_t b) const;
+
+  private:
+    std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/**
+ * Tracks the logical-to-physical qubit assignment during routing.
+ */
+class Layout
+{
+  public:
+    explicit Layout(std::size_t n);
+
+    std::size_t physicalOf(std::size_t logical) const;
+    std::size_t logicalOf(std::size_t physical) const;
+
+    /** Records a SWAP of two physical qubits. */
+    void swapPhysical(std::size_t a, std::size_t b);
+
+  private:
+    std::vector<std::size_t> toPhysical_;
+    std::vector<std::size_t> toLogical_;
+};
+
+/**
+ * Routes a logical pair together: emits the physical SWAPs (as pairs)
+ * that walk @p logical_a adjacent to @p logical_b along a shortest
+ * path, updating @p layout. Returns the swaps in order; afterwards the
+ * pair is adjacent.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+routePair(const CouplingMap &map, Layout &layout, std::size_t logical_a,
+          std::size_t logical_b);
+
+} // namespace route
+} // namespace crisc
+
+#endif // CRISC_ROUTE_ROUTE_HH

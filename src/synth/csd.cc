@@ -1,0 +1,128 @@
+#include "csd.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decomp.hh"
+
+namespace crisc {
+namespace synth {
+
+using linalg::Complex;
+using linalg::CVector;
+
+Matrix
+CSDResult::compose() const
+{
+    const std::size_t n = theta.size();
+    Matrix u(2 * n, 2 * n);
+    Matrix cs(2 * n, 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        cs(i, i) = std::cos(theta[i]);
+        cs(n + i, n + i) = std::cos(theta[i]);
+        cs(i, n + i) = -std::sin(theta[i]);
+        cs(n + i, i) = std::sin(theta[i]);
+    }
+    Matrix left(2 * n, 2 * n), right(2 * n, 2 * n);
+    left.setBlock(0, 0, l0);
+    left.setBlock(n, n, l1);
+    right.setBlock(0, 0, r0);
+    right.setBlock(n, n, r1);
+    return left * cs * right.dagger();
+}
+
+CSDResult
+csd(const Matrix &u)
+{
+    if (!u.isSquare() || u.rows() % 2 != 0)
+        throw std::invalid_argument("csd: expected even-dimensional matrix");
+    if (!linalg::isUnitary(u, 1e-8))
+        throw std::invalid_argument("csd: input is not unitary");
+    const std::size_t n = u.rows() / 2;
+
+    const Matrix u00 = u.block(0, n, 0, n);
+    const Matrix u01 = u.block(0, n, n, 2 * n);
+    const Matrix u10 = u.block(n, 2 * n, 0, n);
+    const Matrix u11 = u.block(n, 2 * n, n, 2 * n);
+
+    // C comes from the SVD of the upper-left block (descending, so the
+    // angles theta ascend). Unitarity makes W = U10 R0 automatically a
+    // matrix of orthogonal columns with norms sin(theta_i).
+    const linalg::SVDResult f = linalg::svd(u00);
+    CSDResult out;
+    out.l0 = f.u;
+    out.r0 = f.v;
+    out.theta.resize(n);
+    std::vector<double> cvals(n), svals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        cvals[i] = std::min(f.singular[i], 1.0);
+        svals[i] = std::sqrt(std::max(0.0, 1.0 - cvals[i] * cvals[i]));
+        out.theta[i] = std::atan2(svals[i], cvals[i]);
+    }
+
+    const Matrix w = u10 * out.r0;
+    Matrix l1(n, n);
+    std::vector<bool> filled(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        CVector col = w.col(i);
+        const double nn = linalg::norm(col);
+        if (nn > 1e-7) {
+            svals[i] = nn;
+            out.theta[i] = std::atan2(svals[i], cvals[i]);
+            for (auto &x : col)
+                x /= nn;
+            l1.setCol(i, col);
+            filled[i] = true;
+        }
+    }
+    // Complete the zero-sine columns of L1 by Gram-Schmidt.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (filled[i])
+            continue;
+        for (std::size_t e = 0; e < n; ++e) {
+            CVector cand(n, Complex{0.0, 0.0});
+            cand[e] = 1.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (!filled[j])
+                    continue;
+                const CVector lj = l1.col(j);
+                const Complex ov = linalg::dot(lj, cand);
+                for (std::size_t r2 = 0; r2 < n; ++r2)
+                    cand[r2] -= ov * lj[r2];
+            }
+            const double nn = linalg::norm(cand);
+            if (nn < 0.3)
+                continue;
+            for (auto &x : cand)
+                x /= nn;
+            l1.setCol(i, cand);
+            filled[i] = true;
+            break;
+        }
+        if (!filled[i])
+            throw std::runtime_error("csd: failed to complete L1");
+    }
+    out.l1 = l1;
+
+    // Rows of R1^dagger from whichever of the two defining relations is
+    // better conditioned for that angle.
+    const Matrix a = out.l0.dagger() * u01; // = -S R1^dagger
+    const Matrix b = out.l1.dagger() * u11; // =  C R1^dagger
+    Matrix r1d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (svals[i] >= cvals[i])
+                r1d(i, j) = -a(i, j) / svals[i];
+            else
+                r1d(i, j) = b(i, j) / cvals[i];
+        }
+    }
+    out.r1 = r1d.dagger();
+
+    if (linalg::maxAbsDiff(out.compose(), u) > 1e-7)
+        throw std::runtime_error("csd: reconstruction check failed");
+    return out;
+}
+
+} // namespace synth
+} // namespace crisc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cosine-sine decomposition (CSD) of an even-dimensional unitary,
+ * partitioned into equal 2x2 blocks:
+ *
+ *   U = [ L0  0  ] [ C  -S ] [ R0  0  ]
+ *       [ 0   L1 ] [ S   C ] [ 0   R1 ]
+ *
+ * with L0, L1, R0, R1 unitary and C = diag(cos t_i), S = diag(sin t_i),
+ * t_i in [0, pi/2]. This is the engine behind the quantum Shannon
+ * decomposition and the paper's three-qubit synthesis (Appendix B).
+ */
+
+#ifndef CRISC_SYNTH_CSD_HH
+#define CRISC_SYNTH_CSD_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace synth {
+
+using linalg::Matrix;
+
+/** The factors of a cosine-sine decomposition. */
+struct CSDResult
+{
+    Matrix l0, l1;              ///< left block-diagonal unitaries.
+    Matrix r0, r1;              ///< right block-diagonal unitaries.
+    std::vector<double> theta;  ///< angles with C=diag(cos), S=diag(sin).
+
+    /** Reassembles the full unitary (for verification). */
+    Matrix compose() const;
+};
+
+/**
+ * Computes the CSD of a 2m x 2m unitary.
+ *
+ * @throws std::invalid_argument for odd-dimensional or non-unitary input.
+ * @post compose() reproduces the input to ~1e-8.
+ */
+CSDResult csd(const Matrix &u);
+
+} // namespace synth
+} // namespace crisc
+
+#endif // CRISC_SYNTH_CSD_HH

@@ -1,0 +1,157 @@
+#include "instantiate.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decomp.hh"
+#include "qop/gates.hh"
+
+namespace crisc {
+namespace synth {
+
+using linalg::Complex;
+
+namespace {
+
+/**
+ * The environment matrix M with tr(F * embed(G)) = tr(M * G):
+ * M(b, a) = sum over untouched-qubit assignments of
+ * F(index(b, rest), index(a, rest)).
+ */
+Matrix
+environment(const Matrix &f, const std::vector<std::size_t> &qubits,
+            std::size_t n)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t gdim = std::size_t{1} << k;
+    const std::size_t dim = std::size_t{1} << n;
+    std::vector<std::size_t> pos(k);
+    std::size_t mask = 0;
+    for (std::size_t b = 0; b < k; ++b) {
+        pos[b] = n - 1 - qubits[b];
+        mask |= std::size_t{1} << pos[b];
+    }
+    auto address = [&](std::size_t g, std::size_t rest) {
+        std::size_t a = rest;
+        for (std::size_t b = 0; b < k; ++b)
+            if ((g >> (k - 1 - b)) & 1)
+                a |= std::size_t{1} << pos[b];
+        return a;
+    };
+    Matrix m(gdim, gdim);
+    for (std::size_t rest = 0; rest < dim; ++rest) {
+        if (rest & mask)
+            continue;
+        for (std::size_t a = 0; a < gdim; ++a)
+            for (std::size_t b = 0; b < gdim; ++b)
+                m(b, a) += f(address(b, rest), address(a, rest));
+    }
+    return m;
+}
+
+/** The unitary maximizing |tr(M G)|: G = Q P^dagger from M = P S Q^dagger. */
+Matrix
+polarUpdate(const Matrix &m)
+{
+    const linalg::SVDResult f = linalg::svd(m);
+    return f.v * f.u.dagger();
+}
+
+} // namespace
+
+Template
+genericTemplate(std::size_t n, std::size_t gates)
+{
+    Template t;
+    t.nQubits = n;
+    for (std::size_t g = 0; g < gates; ++g) {
+        const std::size_t partner = 1 + g % (n - 1);
+        t.slots.push_back({{0, partner}, true, Matrix{}});
+    }
+    return t;
+}
+
+Template
+cnotTemplate(std::size_t n, std::size_t gates)
+{
+    Template t;
+    t.nQubits = n;
+    // Leading free single-qubit layer.
+    for (std::size_t q = 0; q < n; ++q)
+        t.slots.push_back({{q}, true, Matrix{}});
+    for (std::size_t g = 0; g < gates; ++g) {
+        const std::size_t partner = 1 + g % (n - 1);
+        t.slots.push_back({{0, partner}, false, qop::cnot()});
+        // Free single-qubit gates after each CNOT on the touched wires.
+        t.slots.push_back({{0}, true, Matrix{}});
+        t.slots.push_back({{partner}, true, Matrix{}});
+    }
+    return t;
+}
+
+InstantiationResult
+instantiate(const Matrix &target, const Template &tmpl, linalg::Rng &rng,
+            int max_sweeps, double tol, int restarts)
+{
+    const std::size_t n = tmpl.nQubits;
+    const std::size_t dim = std::size_t{1} << n;
+    if (target.rows() != dim)
+        throw std::invalid_argument("instantiate: target size mismatch");
+    const std::size_t m = tmpl.slots.size();
+    const Matrix ud = target.dagger();
+
+    InstantiationResult best;
+    best.distance = 1e300;
+    best.sweeps = 0;
+
+    for (int attempt = 0; attempt < restarts; ++attempt) {
+        std::vector<Matrix> gates(m), emb(m);
+        for (std::size_t k = 0; k < m; ++k) {
+            const auto &slot = tmpl.slots[k];
+            gates[k] = slot.trainable
+                           ? linalg::haarUnitary(
+                                 rng, std::size_t{1} << slot.qubits.size())
+                           : slot.fixed;
+            emb[k] = qop::embed(gates[k], slot.qubits, n);
+        }
+
+        double dist = 1.0;
+        int sweep = 0;
+        double prev = 2.0;
+        for (; sweep < max_sweeps; ++sweep) {
+            // Suffix products S_k = G_{m-1} ... G_{k+1}.
+            std::vector<Matrix> suffix(m + 1);
+            suffix[m - 1] = Matrix::identity(dim);
+            for (std::size_t k = m - 1; k-- > 0;)
+                suffix[k] = suffix[k + 1] * emb[k + 1];
+
+            Matrix prefix = Matrix::identity(dim);
+            for (std::size_t k = 0; k < m; ++k) {
+                if (tmpl.slots[k].trainable) {
+                    const Matrix f = prefix * ud * suffix[k];
+                    const Matrix env =
+                        environment(f, tmpl.slots[k].qubits, n);
+                    gates[k] = polarUpdate(env);
+                    emb[k] = qop::embed(gates[k], tmpl.slots[k].qubits, n);
+                }
+                prefix = emb[k] * prefix;
+            }
+            const Complex overlap = (ud * prefix).trace();
+            dist = 1.0 - std::abs(overlap) / static_cast<double>(dim);
+            if (dist < tol || prev - dist < 1e-14)
+                break;
+            prev = dist;
+        }
+        if (dist < best.distance) {
+            best.distance = dist;
+            best.sweeps = sweep;
+            best.gates = gates;
+        }
+        if (best.distance < tol)
+            break;
+    }
+    return best;
+}
+
+} // namespace synth
+} // namespace crisc

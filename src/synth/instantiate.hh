@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Numerical circuit instantiation in the style of the QFactor optimizer
+ * used by the paper's Figure 6 experiments: fix a circuit template
+ * (either generic SU(4) gates or CNOTs interleaved with free
+ * single-qubit gates) and iteratively update each free gate to the
+ * unitary maximizing |tr(U_target^dagger V_circuit)| given its
+ * environment tensor (SVD polar update).
+ */
+
+#ifndef CRISC_SYNTH_INSTANTIATE_HH
+#define CRISC_SYNTH_INSTANTIATE_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "linalg/random.hh"
+
+namespace crisc {
+namespace synth {
+
+using linalg::Matrix;
+
+/** One slot of an instantiation template. */
+struct TemplateSlot
+{
+    std::vector<std::size_t> qubits; ///< acted qubits, msq first.
+    bool trainable;                  ///< false = fixed gate (e.g. CNOT).
+    Matrix fixed;                    ///< the gate when not trainable.
+};
+
+/** A parameterized circuit template on n qubits. */
+struct Template
+{
+    std::size_t nQubits;
+    std::vector<TemplateSlot> slots;
+};
+
+/**
+ * Template of @p gates generic two-qubit gates cycling over the pairs
+ * (0,1), (0,2), ..., (0,n-1) as in the paper's Sec. 6.2 experiment,
+ * with trainable single-qubit gates on every wire at both ends.
+ */
+Template genericTemplate(std::size_t n, std::size_t gates);
+
+/**
+ * Template of @p gates CNOTs on the same pair pattern with trainable
+ * single-qubit gates between consecutive CNOTs.
+ */
+Template cnotTemplate(std::size_t n, std::size_t gates);
+
+/** Outcome of an instantiation run. */
+struct InstantiationResult
+{
+    double distance;   ///< 1 - |tr(U^dagger V)| / 2^n at the optimum.
+    int sweeps;        ///< sweeps performed.
+    std::vector<Matrix> gates; ///< the optimized slot unitaries.
+};
+
+/**
+ * Optimizes the template's trainable gates to approximate @p target.
+ *
+ * @param target 2^n x 2^n unitary.
+ * @param tmpl circuit template.
+ * @param rng source for the random initialization.
+ * @param max_sweeps sweep budget.
+ * @param tol stop when the distance falls below this threshold.
+ * @param restarts number of random restarts (best kept).
+ */
+InstantiationResult instantiate(const Matrix &target, const Template &tmpl,
+                                linalg::Rng &rng, int max_sweeps = 400,
+                                double tol = 1e-11, int restarts = 2);
+
+} // namespace synth
+} // namespace crisc
+
+#endif // CRISC_SYNTH_INSTANTIATE_HH

@@ -1,0 +1,258 @@
+#include "multiplexor.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decomp.hh"
+#include "qop/gates.hh"
+#include "qop/metrics.hh"
+
+namespace crisc {
+namespace synth {
+
+using linalg::Complex;
+using linalg::kron;
+
+namespace {
+
+/** Gray code of i. */
+std::size_t
+gray(std::size_t i)
+{
+    return i ^ (i >> 1);
+}
+
+/** exp(-i (theta/2) Z x Z): the one-select multiplexed-Rz gate. */
+Matrix
+zzRotation(double theta)
+{
+    const Complex m = std::polar(1.0, -theta / 2.0);
+    const Complex p = std::polar(1.0, theta / 2.0);
+    return Matrix::diag({m, p, p, m});
+}
+
+/** Gray-code multiplexed rotation circuit shared by Rz and Ry. */
+Circuit
+multiplexedRotation(char axis, const std::vector<double> &angles,
+                    const std::vector<std::size_t> &selects,
+                    std::size_t target, std::size_t n)
+{
+    const std::size_t k = selects.size();
+    const std::size_t patterns = std::size_t{1} << k;
+    if (angles.size() != patterns)
+        throw std::invalid_argument("multiplexedRotation: angle count");
+
+    // alpha = (1/2^k) M^T theta with M_{s,i} = (-1)^{popcount(s & gray(i))}.
+    std::vector<double> alpha(patterns, 0.0);
+    for (std::size_t i = 0; i < patterns; ++i) {
+        double a = 0.0;
+        for (std::size_t s = 0; s < patterns; ++s) {
+            const int sign =
+                __builtin_parityll(s & gray(i)) ? -1 : 1;
+            a += sign * angles[s];
+        }
+        alpha[i] = a / static_cast<double>(patterns);
+    }
+
+    Circuit c(n);
+    for (std::size_t i = 0; i < patterns; ++i) {
+        const Matrix rot =
+            axis == 'z' ? qop::rz(alpha[i]) : qop::ry(alpha[i]);
+        c.add(rot, {target}, axis == 'z' ? "Rz" : "Ry");
+        if (k == 0)
+            break;
+        // CNOT controlled on the select bit that flips in the Gray walk.
+        const std::size_t change =
+            gray(i) ^ gray((i + 1) % patterns);
+        std::size_t bit = 0;
+        while (!((change >> bit) & 1))
+            ++bit;
+        // Bit b of the pattern corresponds to selects[k - 1 - b] (lsb is
+        // the last listed select qubit).
+        const std::size_t ctrl = selects[k - 1 - bit];
+        c.add(qop::cnot(), {ctrl, target}, "CNOT");
+    }
+    return c;
+}
+
+} // namespace
+
+Demultiplexed
+demultiplex(const Matrix &u0, const Matrix &u1)
+{
+    if (u0.rows() != u1.rows() || !u0.isSquare())
+        throw std::invalid_argument("demultiplex: shape mismatch");
+    const std::size_t n = u0.rows();
+    const Matrix m = u0 * u1.dagger();
+    const linalg::ComplexEigenSystem es = linalg::eigNormal(m);
+    Demultiplexed out;
+    out.v = es.vectors;
+    out.phases.resize(n);
+    Matrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.phases[i] = std::arg(es.values[i]) / 2.0;
+        d(i, i) = std::polar(1.0, out.phases[i]);
+    }
+    out.w = d.dagger() * out.v.dagger() * u0;
+    return out;
+}
+
+Circuit
+multiplexedRz(const std::vector<double> &angles,
+              const std::vector<std::size_t> &selects, std::size_t target,
+              std::size_t n)
+{
+    return multiplexedRotation('z', angles, selects, target, n);
+}
+
+Circuit
+multiplexedRy(const std::vector<double> &angles,
+              const std::vector<std::size_t> &selects, std::size_t target,
+              std::size_t n)
+{
+    return multiplexedRotation('y', angles, selects, target, n);
+}
+
+Matrix
+multiplexedRotationMatrix(char axis, const std::vector<double> &angles,
+                          const std::vector<std::size_t> &selects,
+                          std::size_t target, std::size_t n)
+{
+    const std::size_t dim = std::size_t{1} << n;
+    const std::size_t k = selects.size();
+    Matrix out(dim, dim);
+    const std::size_t tpos = n - 1 - target;
+    for (std::size_t row = 0; row < dim; ++row) {
+        std::size_t s = 0;
+        for (std::size_t b = 0; b < k; ++b)
+            s = (s << 1) | ((row >> (n - 1 - selects[b])) & 1);
+        const Matrix rot =
+            axis == 'z' ? qop::rz(angles[s]) : qop::ry(angles[s]);
+        const std::size_t tb = (row >> tpos) & 1;
+        const std::size_t row0 = row & ~(std::size_t{1} << tpos);
+        out(row, row0) = rot(tb, 0);
+        out(row, row0 | (std::size_t{1} << tpos)) = rot(tb, 1);
+    }
+    return out;
+}
+
+Matrix
+multiplexorMatrix(const Matrix &u0, const Matrix &u1)
+{
+    const std::size_t n = u0.rows();
+    Matrix out(2 * n, 2 * n);
+    out.setBlock(0, 0, u0);
+    out.setBlock(n, n, u1);
+    return out;
+}
+
+Circuit
+multiplexorLemma14(const Matrix &u0, const Matrix &u1, bool diag_on_first)
+{
+    if (u0.rows() != 4 || u1.rows() != 4)
+        throw std::invalid_argument("multiplexorLemma14: expected 4x4");
+
+    // Normalize W = u0 u1^dagger into SU(4). The overall construction
+    // is only determined up to a fourth root of unity (the u1-side
+    // phase), so every i^k rephasing is tried until the eigenvalue
+    // pairing succeeds.
+    const Matrix w0 = qop::toSU(u0 * u1.dagger());
+
+    for (int k = 0; k < 4; ++k) {
+    for (const double branch : {0.0, M_PI}) {
+        const Matrix w = std::polar(1.0, k * M_PI / 2.0) * w0;
+        // theta1 makes tr[(I x Rz(-t1)) W (I x Rz(-t1))] real; both
+        // atan2 branches are tried since the eigenvalue pairing below
+        // can fail for one of them.
+        const Complex ga = diag_on_first ? w(0, 0) + w(1, 1)
+                                         : w(0, 0) + w(2, 2);
+        const Complex gb = diag_on_first ? w(2, 2) + w(3, 3)
+                                         : w(1, 1) + w(3, 3);
+        const double ra = std::abs(ga), ta = std::arg(ga);
+        const double rb = std::abs(gb), tb = std::arg(gb);
+        const double t1 =
+            std::atan2(-(ra * std::sin(ta) + rb * std::sin(tb)),
+                       ra * std::cos(ta) - rb * std::cos(tb)) +
+            branch;
+
+        const Matrix zrot = diag_on_first
+                                ? kron(qop::rz(-t1), qop::pauliI())
+                                : kron(qop::pauliI(), qop::rz(-t1));
+        const Matrix uprime = zrot * w * zrot;
+
+        // Eigenvalues now come in conjugate pairs {e^{+-i p1}, e^{+-i p2}}.
+        linalg::ComplexEigenSystem es;
+        try {
+            es = linalg::eigNormal(uprime);
+        } catch (const std::runtime_error &) {
+            continue;
+        }
+        std::array<double, 4> ph;
+        std::array<std::size_t, 4> order{0, 1, 2, 3};
+        for (std::size_t i = 0; i < 4; ++i)
+            ph[i] = std::arg(es.values[i]);
+        std::sort(order.begin(), order.end(),
+                  [&ph](std::size_t a, std::size_t b) {
+                      return ph[a] < ph[b];
+                  });
+        // Ascending phases (-p1, -p2, p2, p1): conjugate pairs are
+        // (outer, outer) and (inner, inner).
+        const double p1 = ph[order[3]], p2 = ph[order[2]];
+        if (std::abs(ph[order[0]] + p1) > 1e-6 ||
+            std::abs(ph[order[1]] + p2) > 1e-6)
+            continue;
+        const double t2 = (p1 + p2) / 2.0, t3 = (p1 - p2) / 2.0;
+
+        // Column order matching D = Rz(2 t2) x Rz(2 t3) =
+        // diag(e^{-i(t2+t3)}, e^{-i(t2-t3)}, e^{i(t2-t3)}, e^{i(t2+t3)}).
+        Matrix v1(4, 4);
+        v1.setCol(0, es.vectors.col(order[0])); // e^{-i p1}
+        v1.setCol(1, es.vectors.col(order[1])); // e^{-i p2}
+        v1.setCol(2, es.vectors.col(order[2])); // e^{+i p2}
+        v1.setCol(3, es.vectors.col(order[3])); // e^{+i p1}
+
+        const Matrix d23 = kron(qop::rz(2.0 * t2), qop::rz(2.0 * t3));
+        if (linalg::maxAbsDiff(v1 * d23 * v1.dagger(), uprime) > 1e-7)
+            continue;
+
+        // u0 = (I x Rz(t1)) V1 (Rz(t2) x Rz(t3)) V2 exactly (zeta0 = 1
+        // by construction); recover V2 and the u1-side phase.
+        const Matrix t1gate = diag_on_first
+                                  ? kron(qop::rz(t1), qop::pauliI())
+                                  : kron(qop::pauliI(), qop::rz(t1));
+        const Matrix rots = kron(qop::rz(t2), qop::rz(t3));
+        const Matrix v2 = rots.dagger() * v1.dagger() * t1gate.dagger() * u0;
+        const Matrix b = t1gate.dagger() * v1 *
+                         kron(qop::rz(-t2), qop::rz(-t3)) * v2;
+        const Complex zeta1 = (b.dagger() * u1).trace() / 4.0;
+        if (std::abs(std::abs(zeta1) - 1.0) > 1e-7 ||
+            linalg::maxAbsDiff(zeta1 * b, u1) > 1e-6)
+            continue;
+
+        // Temporal order: V2(q1,q2); D2(q0,q1); D3(q0,q2); V1(q1,q2);
+        // D1(q0,q2); phase on q0.
+        Circuit c(3);
+        c.add(v2, {1, 2}, "V2");
+        c.add(zzRotation(t2), {0, 1}, "D2");
+        c.add(zzRotation(t3), {0, 2}, "D3");
+        c.add(v1, {1, 2}, "V1");
+        if (diag_on_first)
+            c.add(zzRotation(t1), {0, 1}, "D1");
+        else
+            c.add(zzRotation(t1), {0, 2}, "D1");
+        c.add(Matrix{{1, 0}, {0, zeta1}}, {0}, "P");
+        // The ZZ rotations apply Rz(+-t) on the target depending on the
+        // select, matching the demultiplexed phases; global phase left
+        // to the caller's tolerance.
+        const Matrix target = multiplexorMatrix(u0, u1);
+        if (qop::equalUpToGlobalPhase(c.toUnitary(), target, 1e-6))
+            return c;
+    }
+    }
+    throw std::runtime_error("multiplexorLemma14: construction failed");
+}
+
+} // namespace synth
+} // namespace crisc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quantum multiplexors: demultiplexing (the quantum Shannon
+ * decomposition step), Gray-code circuits for multiplexed rotations,
+ * and the paper's Lemma 14 — a three-qubit single-select multiplexor
+ * from five two-qubit gates, three of them diagonal (Appendix B.3).
+ */
+
+#ifndef CRISC_SYNTH_MULTIPLEXOR_HH
+#define CRISC_SYNTH_MULTIPLEXOR_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace synth {
+
+using circuit::Circuit;
+using linalg::Matrix;
+
+/**
+ * Demultiplexes U = |0><0| (x) u0 + |1><1| (x) u1 into
+ *   (I (x) v) (|0><0| (x) d + |1><1| (x) d^dagger) (I (x) w)
+ * with d diagonal unitary: the eigendecomposition u0 u1^dagger =
+ * v d^2 v^dagger gives v; then w = d^dagger v^dagger u1... i.e.
+ * u0 = v d w and u1 = v d^dagger w.
+ */
+struct Demultiplexed
+{
+    Matrix v;                        ///< left shared unitary.
+    std::vector<double> phases;      ///< d = diag(e^{i phases}).
+    Matrix w;                        ///< right shared unitary.
+};
+Demultiplexed demultiplex(const Matrix &u0, const Matrix &u1);
+
+/**
+ * Gray-code circuit for a multiplexed Rz rotation: target qubit
+ * @p target, select qubits @p selects, rotation angle angles[s] for
+ * select pattern s. Emits 2^k CNOTs and 2^k Rz gates (Lemma 15).
+ */
+Circuit multiplexedRz(const std::vector<double> &angles,
+                      const std::vector<std::size_t> &selects,
+                      std::size_t target, std::size_t n);
+
+/** Same construction for multiplexed Ry. */
+Circuit multiplexedRy(const std::vector<double> &angles,
+                      const std::vector<std::size_t> &selects,
+                      std::size_t target, std::size_t n);
+
+/**
+ * The matrix of a multiplexed rotation (for verification): block-diag
+ * over select patterns of R(angles[s]) on the target qubit.
+ */
+Matrix multiplexedRotationMatrix(char axis, const std::vector<double> &angles,
+                                 const std::vector<std::size_t> &selects,
+                                 std::size_t target, std::size_t n);
+
+/**
+ * Lemma 14: a three-qubit multiplexor with single select qubit q0,
+ * U = |0><0| (x) u0 + |1><1| (x) u1 (u_i on qubits q1 q2), realized by
+ * five two-qubit gates of which three are diagonal:
+ *
+ *   U = P(q0) . D1 . V1(q1,q2) . D2(q0,q1) . D3(q0,q2) . V2(q1,q2)
+ *
+ * (reading right to left), where the D's are ZZ rotations (diagonal
+ * two-qubit gates) and V1, V2 are generic. D1 acts on (q0,q2) by
+ * default, or on (q0,q1) when @p diag_on_first is set — the choice
+ * matters for boundary merging in the three-qubit construction.
+ *
+ * @return a 3-qubit circuit whose unitary equals the multiplexor up to
+ *         global phase, containing exactly 5 two-qubit gates.
+ */
+Circuit multiplexorLemma14(const Matrix &u0, const Matrix &u1,
+                           bool diag_on_first = false);
+
+/** Helper: the 8x8 matrix of the single-select multiplexor (q0 select). */
+Matrix multiplexorMatrix(const Matrix &u0, const Matrix &u1);
+
+} // namespace synth
+} // namespace crisc
+
+#endif // CRISC_SYNTH_MULTIPLEXOR_HH

@@ -1,0 +1,178 @@
+#include "qsd.hh"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "csd.hh"
+#include "three_qubit.hh"
+#include "multiplexor.hh"
+#include "two_qubit.hh"
+
+namespace crisc {
+namespace synth {
+
+namespace {
+
+/** Copies a circuit defined on local qubits 0..k-1 onto register qubits. */
+void
+remapAppend(const Circuit &local, const std::vector<std::size_t> &qubits,
+            Circuit &out)
+{
+    for (const circuit::Gate &g : local.gates()) {
+        std::vector<std::size_t> mapped;
+        mapped.reserve(g.qubits.size());
+        for (std::size_t q : g.qubits)
+            mapped.push_back(qubits[q]);
+        out.add(g.op, std::move(mapped), g.label);
+    }
+}
+
+/**
+ * Recursively emits gates realizing @p u on the ordered qubit list
+ * @p qubits (most significant first) of an n-qubit circuit. The
+ * base-case policy distinguishes the CNOT instruction set (base at two
+ * qubits, Vatan-Williams style) from the generic instruction set (base
+ * at three qubits via Theorem 12).
+ */
+void
+qsdRec(const Matrix &u, const std::vector<std::size_t> &qubits, Circuit &out,
+       bool generic)
+{
+    const std::size_t k = qubits.size();
+    if (k == 1) {
+        out.add(u, {qubits[0]}, "u");
+        return;
+    }
+    if (k == 2) {
+        if (generic)
+            out.add(u, {qubits[0], qubits[1]}, "su4");
+        else
+            out.append(
+                decomposeCNOT(u, qubits[0], qubits[1], out.numQubits()));
+        return;
+    }
+    if (k == 3 && generic) {
+        remapAppend(threeQubitGeneric(u), qubits, out);
+        return;
+    }
+
+    const std::vector<std::size_t> lower(qubits.begin() + 1, qubits.end());
+    const std::size_t half = std::size_t{1} << (k - 1);
+
+    const CSDResult f = csd(u);
+
+    // Demultiplex a block pair (a0, a1) into W, mux-Rz, V and emit.
+    auto emitMux = [&](const Matrix &a0, const Matrix &a1) {
+        const Demultiplexed d = demultiplex(a0, a1);
+        qsdRec(d.w, lower, out, generic);
+        std::vector<double> angles(half);
+        for (std::size_t s = 0; s < half; ++s)
+            angles[s] = -2.0 * d.phases[s];
+        out.append(multiplexedRz(angles, lower, qubits[0],
+                                 out.numQubits()));
+        qsdRec(d.v, lower, out, generic);
+    };
+
+    // Temporal order: right multiplexor, multiplexed Ry, left multiplexor.
+    emitMux(f.r0.dagger(), f.r1.dagger());
+    std::vector<double> ry(half);
+    for (std::size_t s = 0; s < half; ++s)
+        ry[s] = 2.0 * f.theta[s];
+    out.append(multiplexedRy(ry, lower, qubits[0], out.numQubits()));
+    emitMux(f.l0, f.l1);
+}
+
+} // namespace
+
+Circuit
+qsd(const Matrix &u)
+{
+    std::size_t n = 0;
+    while ((std::size_t{1} << n) < u.rows())
+        ++n;
+    if ((std::size_t{1} << n) != u.rows() || !u.isSquare())
+        throw std::invalid_argument("qsd: dimension is not a power of two");
+    Circuit c(n);
+    std::vector<std::size_t> qubits(n);
+    for (std::size_t i = 0; i < n; ++i)
+        qubits[i] = i;
+    qsdRec(u, qubits, c, /*generic=*/false);
+    return c;
+}
+
+Circuit
+genericQsd(const Matrix &u)
+{
+    std::size_t n = 0;
+    while ((std::size_t{1} << n) < u.rows())
+        ++n;
+    if ((std::size_t{1} << n) != u.rows() || !u.isSquare()) {
+        throw std::invalid_argument(
+            "genericQsd: dimension is not a power of two");
+    }
+    Circuit c(n);
+    std::vector<std::size_t> qubits(n);
+    for (std::size_t i = 0; i < n; ++i)
+        qubits[i] = i;
+    qsdRec(u, qubits, c, /*generic=*/true);
+    return c;
+}
+
+std::size_t
+genericQsdCount(std::size_t n)
+{
+    if (n <= 2)
+        return n == 2 ? 1 : 0;
+    std::size_t c = 12;
+    for (std::size_t m = 4; m <= n; ++m)
+        c = 4 * c + 3 * (std::size_t{1} << (m - 1));
+    return c;
+}
+
+std::size_t
+qsdCnotCount(std::size_t n)
+{
+    if (n <= 1)
+        return 0;
+    std::size_t c = 3;
+    for (std::size_t m = 3; m <= n; ++m)
+        c = 4 * c + 3 * (std::size_t{1} << (m - 1));
+    return c;
+}
+
+std::size_t
+optimizedQsdCnotCount(std::size_t n)
+{
+    const double v = 23.0 / 48.0 * std::pow(4.0, n) -
+                     1.5 * std::pow(2.0, n) + 4.0 / 3.0;
+    return static_cast<std::size_t>(std::llround(v));
+}
+
+std::size_t
+cnotLowerBound(std::size_t n)
+{
+    const double v = (std::pow(4.0, n) - 3.0 * n - 1.0) / 4.0;
+    return static_cast<std::size_t>(std::ceil(v - 1e-9));
+}
+
+std::size_t
+su4LowerBound(std::size_t n)
+{
+    const double v = (std::pow(4.0, n) - 3.0 * n - 1.0) / 9.0;
+    return static_cast<std::size_t>(std::ceil(v - 1e-9));
+}
+
+std::size_t
+theorem13Count(std::size_t n)
+{
+    if (n <= 2)
+        return n == 2 ? 1 : 0;
+    std::size_t c = 11;
+    for (std::size_t m = 4; m <= n; ++m)
+        c = 4 * c + 3 * (std::size_t{1} << (m - 1));
+    return c;
+}
+
+} // namespace synth
+} // namespace crisc

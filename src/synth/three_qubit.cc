@@ -1,0 +1,181 @@
+#include "three_qubit.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "csd.hh"
+#include "multiplexor.hh"
+#include "qop/gates.hh"
+#include "qop/metrics.hh"
+
+namespace crisc {
+namespace synth {
+
+using circuit::Gate;
+using linalg::kron;
+
+namespace {
+
+/** Reverses a circuit and daggers each gate: the circuit of U^dagger. */
+Circuit
+reverseDagger(const Circuit &c)
+{
+    Circuit out(c.numQubits());
+    for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it)
+        out.add(it->op.dagger(), it->qubits, it->label);
+    return out;
+}
+
+/** True when the gate acts on qubit q. */
+bool
+touches(const Gate &g, std::size_t q)
+{
+    for (std::size_t x : g.qubits)
+        if (x == q)
+            return true;
+    return false;
+}
+
+/** Embeds a 1q op into a 2q gate's local frame at slot 0 or 1. */
+Matrix
+liftSingle(const Matrix &op, bool first)
+{
+    return first ? kron(op, qop::pauliI()) : kron(qop::pauliI(), op);
+}
+
+} // namespace
+
+Circuit
+mergeTwoQubitGates(const Circuit &c)
+{
+    std::vector<Gate> gates = c.gates();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Absorb single-qubit gates into the nearest two-qubit neighbour.
+        for (std::size_t i = 0; i < gates.size() && !changed; ++i) {
+            if (gates[i].qubits.size() != 1)
+                continue;
+            const std::size_t q = gates[i].qubits[0];
+            // Later gate touching q (gates in between commute with i).
+            for (std::size_t j = i + 1; j < gates.size(); ++j) {
+                if (!touches(gates[j], q))
+                    continue;
+                if (gates[j].qubits.size() == 1) {
+                    gates[j].op = gates[j].op * gates[i].op;
+                } else {
+                    gates[j].op =
+                        gates[j].op *
+                        liftSingle(gates[i].op, gates[j].qubits[0] == q);
+                }
+                gates.erase(gates.begin() + i);
+                changed = true;
+                break;
+            }
+            if (changed)
+                break;
+            // No later gate: fold into the closest earlier one.
+            for (std::size_t j = i; j-- > 0;) {
+                if (!touches(gates[j], q))
+                    continue;
+                if (gates[j].qubits.size() == 1) {
+                    gates[j].op = gates[i].op * gates[j].op;
+                } else {
+                    gates[j].op =
+                        liftSingle(gates[i].op, gates[j].qubits[0] == q) *
+                        gates[j].op;
+                }
+                gates.erase(gates.begin() + i);
+                changed = true;
+                break;
+            }
+        }
+        if (changed)
+            continue;
+        // Fuse adjacent two-qubit gates on the same pair.
+        for (std::size_t i = 0; i < gates.size() && !changed; ++i) {
+            if (gates[i].qubits.size() != 2)
+                continue;
+            const std::size_t a = gates[i].qubits[0], b = gates[i].qubits[1];
+            for (std::size_t j = i + 1; j < gates.size(); ++j) {
+                if (!touches(gates[j], a) && !touches(gates[j], b))
+                    continue;
+                if (gates[j].qubits.size() != 2)
+                    break;
+                const std::size_t ja = gates[j].qubits[0];
+                const std::size_t jb = gates[j].qubits[1];
+                if (ja == a && jb == b) {
+                    gates[j].op = gates[j].op * gates[i].op;
+                } else if (ja == b && jb == a) {
+                    // Re-express j in i's qubit order before composing.
+                    const Matrix &sw = qop::swapGate();
+                    gates[j].op = sw * gates[j].op * sw * gates[i].op;
+                    gates[j].qubits = {a, b};
+                } else {
+                    break; // shares one qubit only
+                }
+                gates[j].label = "fused";
+                gates.erase(gates.begin() + i);
+                changed = true;
+                break;
+            }
+        }
+    }
+    Circuit out(c.numQubits());
+    for (Gate &g : gates)
+        out.add(std::move(g.op), std::move(g.qubits), std::move(g.label));
+    return out;
+}
+
+Circuit
+threeQubitGeneric(const Matrix &u)
+{
+    if (u.rows() != 8 || !linalg::isUnitary(u, 1e-8))
+        throw std::invalid_argument("threeQubitGeneric: expected U(8)");
+
+    const CSDResult f = csd(u);
+
+    // Right multiplexor (applied first): D1 on (q0, q2) so it fuses with
+    // the first CNOT(q2 -> q0) of the middle rotation.
+    const Circuit rmux = multiplexorLemma14(f.r0.dagger(), f.r1.dagger(),
+                                            /*diag_on_first=*/false);
+
+    // Left multiplexor, built reversed so it *starts* with its diagonal
+    // gate, placed on (q0, q1) to fuse with the middle's last gate.
+    const Circuit lmux = reverseDagger(multiplexorLemma14(
+        f.l0.dagger(), f.l1.dagger(), /*diag_on_first=*/true));
+
+    // Middle: two-select multiplexed Ry on q0 written as
+    // A(q0,q1) C(q0,q2) B(q0,q1) C(q0,q2)   (matrix order),
+    // with A, B one-select multiplexed rotations taken as plain
+    // two-qubit gates.
+    std::vector<double> av(2), bv(2);
+    for (std::size_t s1 = 0; s1 < 2; ++s1) {
+        av[s1] = f.theta[2 * s1] + f.theta[2 * s1 + 1];
+        bv[s1] = f.theta[2 * s1] - f.theta[2 * s1 + 1];
+    }
+    const Matrix aGate =
+        multiplexedRotationMatrix('y', av, {1}, 0, 2);
+    const Matrix bGate =
+        multiplexedRotationMatrix('y', bv, {1}, 0, 2);
+    const Matrix hh = kron(qop::hadamard(), qop::hadamard());
+    const Matrix cnotUp = hh * qop::cnot() * hh; // control = 2nd listed
+
+    Circuit full(3);
+    full.append(rmux);
+    full.add(cnotUp, {0, 2}, "CX20");
+    full.add(bGate, {0, 1}, "muxB");
+    full.add(cnotUp, {0, 2}, "CX20");
+    full.add(aGate, {0, 1}, "muxA");
+    full.append(lmux);
+
+    Circuit merged = mergeTwoQubitGates(full);
+    if (!qop::equalUpToGlobalPhase(merged.toUnitary(), u, 1e-5)) {
+        throw std::runtime_error(
+            "threeQubitGeneric: reconstruction check failed");
+    }
+    return merged;
+}
+
+} // namespace synth
+} // namespace crisc

@@ -1,0 +1,180 @@
+#include "two_qubit.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qop/gates.hh"
+#include "qop/metrics.hh"
+
+namespace crisc {
+namespace synth {
+
+using linalg::kron;
+using weyl::WeylPoint;
+
+namespace {
+
+constexpr double kPi = M_PI;
+constexpr double kCoordTol = 1e-9;
+
+/** CNOT with control q1 / target q0 as a matrix in (q0, q1) order. */
+const Matrix &
+cnotReversed()
+{
+    static const Matrix m = [] {
+        const Matrix hh = kron(qop::hadamard(), qop::hadamard());
+        return hh * qop::cnot() * hh;
+    }();
+    return m;
+}
+
+/**
+ * Builds [C21, Rz(t1) x Ry(t2), C12, I x Ry(t3), C21] on (q0, q1); its
+ * chamber point is canonicalize(pi/4 - t1/2, pi/4 - t3/2, pi/4 - t2/2).
+ */
+Circuit
+threeCnotCore(double t1, double t2, double t3, std::size_t q0,
+              std::size_t q1, std::size_t n)
+{
+    Circuit c(n);
+    c.add(cnotReversed(), {q0, q1}, "CNOT21");
+    c.add(qop::rz(t1), {q0}, "Rz");
+    c.add(qop::ry(t2), {q1}, "Ry");
+    c.add(qop::cnot(), {q0, q1}, "CNOT");
+    c.add(qop::ry(t3), {q1}, "Ry");
+    c.add(cnotReversed(), {q0, q1}, "CNOT21");
+    return c;
+}
+
+/** Two-CNOT core: C12 (Rx(-2x) x Rz(-2y)) C12 = exp(i(x XX + y ZZ)). */
+Circuit
+twoCnotCore(double x, double y, std::size_t q0, std::size_t q1,
+            std::size_t n)
+{
+    Circuit c(n);
+    c.add(qop::cnot(), {q0, q1}, "CNOT");
+    c.add(qop::rx(-2.0 * x), {q0}, "Rx");
+    c.add(qop::rz(-2.0 * y), {q1}, "Rz");
+    c.add(qop::cnot(), {q0, q1}, "CNOT");
+    return c;
+}
+
+/** Appends the local correction layers around a core circuit. */
+Circuit
+wrapWithCorrections(const Matrix &target, const Circuit &core,
+                    std::size_t q0, std::size_t q1, std::size_t n)
+{
+    // Build the 4x4 unitary of the core on the two addressed qubits.
+    Circuit local(2);
+    for (const circuit::Gate &g : core.gates()) {
+        std::vector<std::size_t> q;
+        for (std::size_t x : g.qubits)
+            q.push_back(x == q0 ? 0 : 1);
+        local.add(g.op, q, g.label);
+    }
+    const Matrix realized = local.toUnitary();
+    const weyl::LocalCorrection lc =
+        weyl::localCorrections(target, realized);
+
+    Circuit out(n);
+    out.add(lc.r1, {q0}, "r1");
+    out.add(lc.r2, {q1}, "r2");
+    out.append(core);
+    out.add(std::polar(1.0, lc.phase) * lc.l1, {q0}, "l1");
+    out.add(lc.l2, {q1}, "l2");
+    return out;
+}
+
+} // namespace
+
+std::size_t
+cnotCost(const Matrix &u)
+{
+    const WeylPoint p = weyl::weylCoordinates(u);
+    if (p.x < kCoordTol && p.y < kCoordTol)
+        return 0;
+    if (std::abs(p.x - kPi / 4.0) < kCoordTol && p.y < kCoordTol)
+        return 1;
+    if (std::abs(p.z) < kCoordTol)
+        return 2;
+    return 3;
+}
+
+Circuit
+canonicalCircuit3CNOT(const WeylPoint &p)
+{
+    return threeCnotCore(kPi / 2.0 - 2.0 * p.x, kPi / 2.0 - 2.0 * p.z,
+                         kPi / 2.0 - 2.0 * p.y, 0, 1, 2);
+}
+
+Circuit
+decomposeCNOT(const Matrix &u, std::size_t q0, std::size_t q1,
+              std::size_t n)
+{
+    const WeylPoint p = weyl::weylCoordinates(u);
+
+    // Local gate: factor directly, no CNOT.
+    if (p.x < kCoordTol && p.y < kCoordTol && std::abs(p.z) < kCoordTol) {
+        const Matrix su = qop::toSU(u);
+        auto [a, b] = qop::factorKron(su);
+        const linalg::Complex ph = (kron(a, b).dagger() * u).trace() / 4.0;
+        Circuit c(n);
+        c.add(ph * a, {q0}, "u1");
+        c.add(b, {q1}, "u2");
+        return c;
+    }
+
+    Circuit core(n);
+    if (std::abs(p.x - kPi / 4.0) < kCoordTol && p.y < kCoordTol) {
+        core.add(qop::cnot(), {q0, q1}, "CNOT");
+    } else if (std::abs(p.z) < kCoordTol) {
+        core = twoCnotCore(p.x, p.y, q0, q1, n);
+    } else {
+        // Three CNOTs; the z sign of the core depends on canonicalization
+        // branch, so try both.
+        for (const double zsign : {1.0, -1.0}) {
+            core = threeCnotCore(kPi / 2.0 - 2.0 * p.x,
+                                 kPi / 2.0 - 2.0 * zsign * p.z,
+                                 kPi / 2.0 - 2.0 * p.y, q0, q1, n);
+            Circuit probe(n == 2 ? 2 : n);
+            // Check chamber point via the two-qubit restriction.
+            Circuit local(2);
+            for (const circuit::Gate &g : core.gates()) {
+                std::vector<std::size_t> q;
+                for (std::size_t x : g.qubits)
+                    q.push_back(x == q0 ? 0 : 1);
+                local.add(g.op, q, g.label);
+            }
+            if (weyl::pointDistance(weyl::weylCoordinates(local.toUnitary()),
+                                    p) < 1e-7)
+                break;
+        }
+    }
+    return wrapWithCorrections(u, core, q0, q1, n);
+}
+
+Matrix
+AshnCompiled::compose() const
+{
+    return std::polar(1.0, phase) *
+           (kron(l1, l2) * ashn::realize(params) * kron(r1, r2));
+}
+
+AshnCompiled
+compileToAshn(const Matrix &u, double h, double r)
+{
+    const WeylPoint p = weyl::weylCoordinates(u);
+    AshnCompiled out;
+    out.params = ashn::synthesize(p, h, r);
+    const Matrix realized = ashn::realize(out.params);
+    const weyl::LocalCorrection lc = weyl::localCorrections(u, realized);
+    out.l1 = lc.l1;
+    out.l2 = lc.l2;
+    out.r1 = lc.r1;
+    out.r2 = lc.r2;
+    out.phase = lc.phase;
+    return out;
+}
+
+} // namespace synth
+} // namespace crisc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Two-qubit gate synthesis: decompose an arbitrary 4x4 unitary into
+ * CNOTs plus single-qubit gates (0/1/2/3 CNOTs depending on the Weyl
+ * chamber point), or into a single AshN pulse plus single-qubit
+ * corrections (Sec. 6.1 of the paper).
+ */
+
+#ifndef CRISC_SYNTH_TWO_QUBIT_HH
+#define CRISC_SYNTH_TWO_QUBIT_HH
+
+#include "ashn/scheme.hh"
+#include "circuit/circuit.hh"
+#include "weyl/weyl.hh"
+
+namespace crisc {
+namespace synth {
+
+using circuit::Circuit;
+using linalg::Matrix;
+
+/**
+ * Decomposes a two-qubit unitary into CNOTs and single-qubit gates on
+ * register qubits (q0, q1) of an n-qubit circuit. Uses the minimal CNOT
+ * count for the gate's chamber point: 0 for local gates, 1 for the
+ * [CNOT] class, 2 when z = 0, and 3 in general.
+ *
+ * @post circuit.toUnitary() equals u up to global phase.
+ */
+Circuit decomposeCNOT(const Matrix &u, std::size_t q0 = 0,
+                      std::size_t q1 = 1, std::size_t n = 2);
+
+/** Number of CNOTs decomposeCNOT will emit for this unitary. */
+std::size_t cnotCost(const Matrix &u);
+
+/** Result of compiling a two-qubit gate to one AshN pulse. */
+struct AshnCompiled
+{
+    ashn::GateParams params; ///< pulse parameters (g = 1 units).
+    Matrix l1, l2, r1, r2;   ///< single-qubit corrections.
+    double phase;            ///< global phase.
+
+    /** Recomposes the target: e^{i phase} (l1 x l2) U_pulse (r1 x r2). */
+    Matrix compose() const;
+};
+
+/**
+ * Compiles an arbitrary two-qubit unitary into a single AshN pulse with
+ * single-qubit corrections (the paper's headline capability).
+ *
+ * @param u target unitary.
+ * @param h ZZ coupling ratio.
+ * @param r drive cutoff (see ashn::synthesize).
+ */
+AshnCompiled compileToAshn(const Matrix &u, double h = 0.0, double r = 0.0);
+
+/**
+ * The canonical-interaction circuit used by decomposeCNOT: three CNOTs
+ * realizing a gate locally equivalent to canonicalGate(x, y, z).
+ */
+Circuit canonicalCircuit3CNOT(const weyl::WeylPoint &p);
+
+} // namespace synth
+} // namespace crisc
+
+#endif // CRISC_SYNTH_TWO_QUBIT_HH

@@ -1,0 +1,105 @@
+#include "measure.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crisc {
+namespace weyl {
+
+double
+chamberDensity(const WeylPoint &p)
+{
+    const double x = p.x, y = p.y, z = p.z;
+    return std::abs(std::sin(2.0 * (x + y)) * std::sin(2.0 * (x - y)) *
+                    std::sin(2.0 * (y + z)) * std::sin(2.0 * (y - z)) *
+                    std::sin(2.0 * (x + z)) * std::sin(2.0 * (x - z)));
+}
+
+namespace {
+
+/**
+ * Integrates density * f over the chamber with a midpoint rule adapted
+ * to the wedge shape (y in [0,x], z in [-y,y]).
+ */
+double
+wedgeIntegral(const std::function<double(const WeylPoint &)> &f, int grid)
+{
+    const double x_hi = M_PI / 4.0;
+    const double dx = x_hi / grid;
+    double total = 0.0;
+    for (int i = 0; i < grid; ++i) {
+        const double x = (i + 0.5) * dx;
+        const double dy = x / grid;
+        for (int j = 0; j < grid; ++j) {
+            const double y = (j + 0.5) * dy;
+            const double dz = 2.0 * y / grid;
+            for (int k = 0; k < grid; ++k) {
+                const double z = -y + (k + 0.5) * dz;
+                const WeylPoint p{x, y, z};
+                total += chamberDensity(p) * f(p) * dx * dy * dz;
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+double
+chamberDensityNorm()
+{
+    static const double norm =
+        wedgeIntegral([](const WeylPoint &) { return 1.0; }, 120);
+    return norm;
+}
+
+WeylPoint
+sampleChamber(linalg::Rng &rng)
+{
+    // Max of the density over the chamber, padded; computed once.
+    static const double wmax = [] {
+        double m = 0.0;
+        const int g = 60;
+        for (int i = 0; i <= g; ++i)
+            for (int j = 0; j <= i; ++j)
+                for (int k = -j; k <= j; ++k) {
+                    const WeylPoint p{i * M_PI / 4.0 / g, j * M_PI / 4.0 / g,
+                                      k * M_PI / 4.0 / g};
+                    m = std::max(m, chamberDensity(p));
+                }
+        return 1.05 * m;
+    }();
+
+    for (int tries = 0; tries < 100000; ++tries) {
+        const double x = rng.uniform(0.0, M_PI / 4.0);
+        const double y = rng.uniform(0.0, M_PI / 4.0);
+        const double z = rng.uniform(-M_PI / 4.0, M_PI / 4.0);
+        if (y > x || std::abs(z) > y)
+            continue;
+        const WeylPoint p{x, y, z};
+        if (rng.uniform() * wmax <= chamberDensity(p))
+            return p;
+    }
+    throw std::runtime_error("sampleChamber: rejection sampling stalled");
+}
+
+double
+chamberExpectation(const std::function<double(const WeylPoint &)> &f,
+                   linalg::Rng &rng, int samples)
+{
+    double total = 0.0;
+    for (int i = 0; i < samples; ++i)
+        total += f(sampleChamber(rng));
+    return total / samples;
+}
+
+double
+chamberQuadrature(const std::function<double(const WeylPoint &)> &f,
+                  int grid)
+{
+    return wedgeIntegral(f, grid) /
+           wedgeIntegral([](const WeylPoint &) { return 1.0; }, grid);
+}
+
+} // namespace weyl
+} // namespace crisc

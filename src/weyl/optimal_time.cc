@@ -1,0 +1,42 @@
+#include "optimal_time.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crisc {
+namespace weyl {
+
+double
+optimalTime(const WeylPoint &p, double h)
+{
+    if (std::abs(h) > 1.0)
+        throw std::invalid_argument("optimalTime: |h| must be <= g");
+    // The z-sign convention here matches this library's KAK coordinates
+    // (paper footnote 5: conventions differ across the literature); it
+    // is fixed by the requirement that the sub-scheme coverage regions
+    // tile the chamber, which the AshN tests verify empirically.
+    const double x = p.x, y = p.y, z = p.z;
+    const double t1 = std::max({2.0 * x,
+                                2.0 * (x + y - z) / (2.0 + h),
+                                2.0 * (x + y + z) / (2.0 - h)});
+    const double t2 = std::max({M_PI - 2.0 * x,
+                                2.0 * (M_PI / 2.0 - x + y + z) / (2.0 + h),
+                                2.0 * (M_PI / 2.0 - x + y - z) / (2.0 - h)});
+    return std::min(t1, t2);
+}
+
+double
+optimalTime(const WeylPoint &p)
+{
+    return optimalTime(p, 0.0);
+}
+
+double
+haarAverageOptimalTime()
+{
+    return 7.0 * M_PI / 16.0 - 19.0 / (180.0 * M_PI);
+}
+
+} // namespace weyl
+} // namespace crisc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The minimum interaction time needed to synthesize a Weyl chamber point
+ * with the XY+ZZ Hamiltonian (paper Sec. 4.3, after Hammerer-Vidal-Cirac).
+ * Times are in units of 1/g with the coupling normalized to g = 1.
+ */
+
+#ifndef CRISC_WEYL_OPTIMAL_TIME_HH
+#define CRISC_WEYL_OPTIMAL_TIME_HH
+
+#include "weyl.hh"
+
+namespace crisc {
+namespace weyl {
+
+/**
+ * Optimal interaction time tau_opt(h; x, y, z) for canonical (x, y, z)
+ * and ZZ coupling ratio h in [-1, 1]:
+ *
+ *   tau_opt = min( max{2x, 2(x+y-z)/(2+h), 2(x+y+z)/(2-h)},
+ *                  max{pi-2x, 2(pi/2-x+y+z)/(2+h), 2(pi/2-x+y-z)/(2-h)} ),
+ *
+ * in this library's KAK sign convention for z (the appendix of the paper
+ * uses the opposite convention; see its footnote 5).
+ */
+double optimalTime(const WeylPoint &p, double h);
+
+/** Optimal time for h = 0; reduces to max{2x, x + y + |z|}. */
+double optimalTime(const WeylPoint &p);
+
+/**
+ * Haar-average optimal two-qubit interaction time for h = 0,
+ * (7 pi / 16 - 19 / (180 pi)) ~ 1.3412, quoted in Sec. 6.1.
+ */
+double haarAverageOptimalTime();
+
+} // namespace weyl
+} // namespace crisc
+
+#endif // CRISC_WEYL_OPTIMAL_TIME_HH

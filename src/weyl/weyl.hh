@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Weyl chamber coordinates and the KAK decomposition (Theorem 1 of the
+ * paper): every U in SU(4) factors as
+ *
+ *   U = e^{i phase} (a1 (x) a2) exp(i (x XX + y YY + z ZZ)) (b1 (x) b2)
+ *
+ * with (x, y, z) unique inside the Weyl chamber
+ * W = { pi/4 >= x >= y >= |z|, z >= 0 if x = pi/4 }.
+ *
+ * The implementation diagonalizes the symmetric unitary gamma matrix in
+ * the magic (Bell) basis, then canonicalizes the interaction coefficients
+ * by explicit, local-gate-tracked chamber moves.
+ */
+
+#ifndef CRISC_WEYL_WEYL_HH
+#define CRISC_WEYL_WEYL_HH
+
+#include <array>
+
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace weyl {
+
+using linalg::Complex;
+using linalg::Matrix;
+
+/** A point (x, y, z) of interaction coefficients. */
+struct WeylPoint
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    std::array<double, 3> asArray() const { return {x, y, z}; }
+};
+
+/** Distance max(|dx|, |dy|, |dz|) between chamber points. */
+double pointDistance(const WeylPoint &a, const WeylPoint &b);
+
+/** @return true when p lies in the canonical chamber W (to tolerance). */
+bool isCanonical(const WeylPoint &p, double tol = 1e-9);
+
+/**
+ * Canonicalizes arbitrary interaction coefficients into W using the
+ * chamber symmetries (coordinate-only variant; the KAK decomposition
+ * tracks the same moves through local gates).
+ */
+WeylPoint canonicalizePoint(const WeylPoint &raw);
+
+/** Full KAK decomposition of a two-qubit unitary. */
+struct KAKDecomposition
+{
+    /** Global phase: U = e^{i phase} (a1 x a2) N(point) (b1 x b2). */
+    double phase = 0.0;
+    Matrix a1, a2;    ///< Left (after-interaction) local gates.
+    WeylPoint point;  ///< Canonical interaction coefficients.
+    Matrix b1, b2;    ///< Right (before-interaction) local gates.
+
+    /** Recomposes the unitary described by this decomposition. */
+    Matrix compose() const;
+};
+
+/**
+ * Computes the KAK decomposition of @p u (any 4x4 unitary; a global
+ * phase is split off automatically).
+ *
+ * Postcondition: compose() reproduces @p u to ~1e-9 and point is inside
+ * the canonical Weyl chamber.
+ */
+KAKDecomposition kak(const Matrix &u);
+
+/** Interaction coefficients of @p u (canonical chamber point). */
+WeylPoint weylCoordinates(const Matrix &u);
+
+/** @return true when u and v are equal up to single-qubit gates. */
+bool locallyEquivalent(const Matrix &u, const Matrix &v, double tol = 1e-7);
+
+/**
+ * Makhlin-style local invariants (g1, g2, g3); equal for locally
+ * equivalent gates. Used as an independent cross-check on the KAK code.
+ */
+std::array<double, 3> localInvariants(const Matrix &u);
+
+/** The magic (Bell) basis change used by the KAK decomposition. */
+const Matrix &magicBasis();
+
+/**
+ * Solves U = e^{i phase} (l1 x l2) V (r1 x r2) for the local gates, i.e.
+ * finds the single-qubit corrections that turn the physically realized
+ * gate V into the target U. Both gates must be locally equivalent.
+ */
+struct LocalCorrection
+{
+    double phase = 0.0;
+    Matrix l1, l2, r1, r2;
+};
+LocalCorrection localCorrections(const Matrix &target, const Matrix &realized);
+
+} // namespace weyl
+} // namespace crisc
+
+#endif // CRISC_WEYL_WEYL_HH

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the AshN gate scheme: chamber coverage of every sub-scheme,
+ * time optimality, drive-strength bounds, ZZ robustness, special gate
+ * classes, and the free virtual-Z property.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ashn/hamiltonian.hh"
+#include "ashn/scheme.hh"
+#include "ashn/special.hh"
+#include "linalg/random.hh"
+#include "qop/gates.hh"
+#include "qop/metrics.hh"
+#include "weyl/measure.hh"
+#include "weyl/optimal_time.hh"
+#include "weyl/weyl.hh"
+
+namespace {
+
+using namespace crisc;
+using ashn::GateParams;
+using ashn::SubScheme;
+using linalg::Matrix;
+using weyl::WeylPoint;
+
+void
+expectRealizes(const GateParams &p, const WeylPoint &target,
+               double tol = 1e-5)
+{
+    const WeylPoint got = weyl::weylCoordinates(ashn::realize(p));
+    const WeylPoint want = weyl::canonicalizePoint(target);
+    EXPECT_LT(weyl::pointDistance(got, want), tol)
+        << ashn::subSchemeName(p.scheme) << " tau=" << p.tau
+        << " om1=" << p.omega1 << " om2=" << p.omega2 << " d=" << p.delta
+        << " target=(" << target.x << "," << target.y << "," << target.z
+        << ") h=" << p.h;
+}
+
+TEST(Hamiltonian, MatchesPauliExpansion)
+{
+    const Matrix h = ashn::hamiltonian(0.3, 0.5, 0.2, 0.7);
+    // <00|H|00> = h/2 + 2 delta; <01|H|01> = -h/2.
+    EXPECT_NEAR(h(0, 0).real(), 0.15 + 1.4, 1e-12);
+    EXPECT_NEAR(h(1, 1).real(), -0.15, 1e-12);
+    // XX+YY couples |01> and |10> with coefficient 1.
+    EXPECT_NEAR(h(1, 2).real(), 1.0, 1e-12);
+    EXPECT_TRUE(linalg::isHermitian(h, 1e-12));
+}
+
+TEST(Hamiltonian, PhasedDriveIsVirtualZConjugation)
+{
+    // Sec. 4.4: H(phi1, phi2) = (Z_-phibar x Z_-phibar) H(phi', -phi')
+    //           (Z_phibar x Z_phibar).
+    const double phi1 = 0.8, phi2 = 0.3;
+    const double phibar = (phi1 + phi2) / 2.0, phip = (phi1 - phi2) / 2.0;
+    const Matrix lhs =
+        ashn::hamiltonianWithPhases(0.2, 1.1, phi1, 0.6, phi2, 0.4);
+    // Z_theta in the paper's notation is exp(-i theta Z / 2) = rz(theta).
+    const Matrix zp = qop::rz(phibar);
+    const Matrix zm = qop::rz(-phibar);
+    const Matrix inner =
+        ashn::hamiltonianWithPhases(0.2, 1.1, phip, 0.6, -phip, 0.4);
+    const Matrix rhs = linalg::kron(zm, zm) * inner * linalg::kron(zp, zp);
+    EXPECT_LT(linalg::maxAbsDiff(lhs, rhs), 1e-10);
+}
+
+TEST(Hamiltonian, ZeroPhaseReducesToStandardForm)
+{
+    const double om1 = 0.4, om2 = 0.25, d = 0.3, h = 0.1;
+    const Matrix a = ashn::hamiltonian(h, om1, om2, d);
+    const Matrix b = ashn::hamiltonianWithPhases(
+        h, ashn::driveA1(om1, om2), 0.0, ashn::driveA2(om1, om2), 0.0, d);
+    EXPECT_LT(linalg::maxAbsDiff(a, b), 1e-12);
+}
+
+TEST(SchemeND, RealizesCnotClassAtOptimalTime)
+{
+    const GateParams p = ashn::synthesizeND(ashn::cnotPoint(), 0.0);
+    EXPECT_NEAR(p.tau, M_PI / 2.0, 1e-12);
+    // Table 1: A1 = -sqrt(15), A2 = 0.
+    EXPECT_NEAR(p.a1(), -std::sqrt(15.0), 1e-6);
+    EXPECT_NEAR(p.a2(), 0.0, 1e-6);
+    expectRealizes(p, ashn::cnotPoint());
+}
+
+TEST(SchemeND, RealizesBGateClass)
+{
+    const GateParams p = ashn::synthesizeND(ashn::bGatePoint(), 0.0);
+    EXPECT_NEAR(p.tau, M_PI / 2.0, 1e-12);
+    // Table 1: A1 = -2.238 g (4 significant figures), A2 = 0.
+    EXPECT_NEAR(p.a1(), -2.238, 5e-4);
+    EXPECT_NEAR(p.a2(), 0.0, 1e-6);
+    expectRealizes(p, ashn::bGatePoint());
+}
+
+class NDChamberSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(NDChamberSweep, CoversItsSector)
+{
+    // Points with tau_ND = 2x dominating; y, z scaled inside the sector.
+    const auto [h, scale] = GetParam();
+    for (double x : {0.15, 0.4, 0.6, M_PI / 4.0}) {
+        for (double frac : {0.0, 0.3, 0.9}) {
+            // Sector budgets in this library's convention: y+z is fed by
+            // the (1-h) drive, y-z by the (1+h) drive.
+            const double budgetSum = std::min((1 - h) * x, M_PI - (1 - h) * x);
+            const double budgetDiff = std::min((1 + h) * x, M_PI - (1 + h) * x);
+            const double ypz = scale * budgetSum;
+            const double ymz = frac * scale * budgetDiff;
+            const WeylPoint target{x, (ypz + ymz) / 2.0, (ypz - ymz) / 2.0};
+            const GateParams p = ashn::synthesizeND(target, h);
+            EXPECT_NEAR(p.tau, 2.0 * x, 1e-12);
+            expectRealizes(p, target);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NDChamberSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5, -0.4),
+                       ::testing::Values(0.2, 0.7, 0.95)));
+
+TEST(SchemeEA, RealizesSwapClass)
+{
+    const GateParams p = ashn::synthesize(ashn::swapPoint(), 0.0, 0.0);
+    EXPECT_NEAR(p.tau, 3.0 * M_PI / 4.0, 1e-9);
+    expectRealizes(p, ashn::swapPoint());
+    // Table 1: A1 = -2.108, A2 = 2.108, 2 delta = -1.528 (up to the
+    // symmetry Omega -> -Omega, delta -> -delta of the realized class).
+    EXPECT_NEAR(std::abs(p.a1()), 2.108, 5e-4);
+    EXPECT_NEAR(std::abs(p.a2()), 2.108, 5e-4);
+    EXPECT_NEAR(std::abs(2.0 * p.delta), 1.528, 5e-4);
+}
+
+TEST(SchemeEA, SwapRealizesZZTimesSwapExactly)
+{
+    // Sec. 6.4: the realized [SWAP] gate is ZZ * SWAP on the nose.
+    const GateParams p = ashn::synthesize(ashn::swapPoint(), 0.0, 0.0);
+    const Matrix expected = qop::pauliZZ() * qop::swapGate();
+    EXPECT_TRUE(qop::equalUpToGlobalPhase(ashn::realize(p), expected, 1e-5));
+}
+
+class FullSchemeSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FullSchemeSweep, SpansChamberAtOptimalTime)
+{
+    const double h = GetParam();
+    linalg::Rng rng(1234 + static_cast<int>(h * 100));
+    for (int trial = 0; trial < 30; ++trial) {
+        const WeylPoint target = weyl::sampleChamber(rng);
+        const GateParams p = ashn::synthesize(target, h, 0.0);
+        expectRealizes(p, target);
+        EXPECT_NEAR(p.tau, weyl::optimalTime(target, h), 1e-7)
+            << "scheme=" << ashn::subSchemeName(p.scheme);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZZRatios, FullSchemeSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.8, -0.3, -0.8));
+
+class CutoffSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CutoffSweep, BoundedDrivesAndCorrectGates)
+{
+    const double r = GetParam();
+    linalg::Rng rng(77);
+    const double bound = ashn::driveBound(r);
+    for (int trial = 0; trial < 25; ++trial) {
+        const WeylPoint target = weyl::sampleChamber(rng);
+        const GateParams p = ashn::synthesize(target, 0.0, r);
+        expectRealizes(p, target);
+        // Eq. (4.4): max{|A1|/2,|A2|/2,|delta|} <= pi/r + 1/2.
+        EXPECT_LE(p.maxDrive(), bound + 1e-6);
+        EXPECT_NEAR(p.tau, ashn::gateTime(target, 0.0, r), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, CutoffSweep,
+                         ::testing::Values(0.3, 0.7, 1.1, M_PI / 2.0));
+
+TEST(Scheme, NearIdentityGatesUseNDExt)
+{
+    const WeylPoint tiny{0.02, 0.01, -0.005};
+    const GateParams p = ashn::synthesize(tiny, 0.0, 1.1);
+    EXPECT_EQ(p.scheme, SubScheme::NDExt);
+    EXPECT_NEAR(p.tau, M_PI - 0.04, 1e-9);
+    expectRealizes(p, tiny);
+}
+
+TEST(Scheme, IdentityTargetIsFree)
+{
+    const GateParams p = ashn::synthesize({0, 0, 0}, 0.3, 0.0);
+    EXPECT_EQ(p.scheme, SubScheme::Identity);
+    EXPECT_EQ(p.tau, 0.0);
+}
+
+TEST(Scheme, GateTimeMatchesPaperTimeFunction)
+{
+    // App. A.7.1: T(x,y,z;r) = max{2x, x+y+|z|} when >= r, else pi-2x.
+    linalg::Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        const WeylPoint p = weyl::sampleChamber(rng);
+        for (double r : {0.0, 0.5, 1.1}) {
+            const double topt = std::max(2 * p.x, p.x + p.y + std::abs(p.z));
+            const double expected = topt >= r ? topt : M_PI - 2 * p.x;
+            EXPECT_NEAR(ashn::gateTime(p, 0.0, r), expected, 1e-10);
+        }
+    }
+}
+
+class CnotZZSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CnotZZSweep, ClosedFormHandlesZZCoupling)
+{
+    const double h = GetParam();
+    const GateParams p = ashn::cnotClassParams(h);
+    EXPECT_NEAR(p.tau, M_PI / 2.0, 1e-12);
+    EXPECT_NEAR(p.delta, 0.0, 1e-12);
+    expectRealizes(p, ashn::cnotPoint());
+}
+
+INSTANTIATE_TEST_SUITE_P(ZZ, CnotZZSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.6, 0.9, -0.5,
+                                           -0.9));
+
+TEST(CnotZZ, RealizesMolmerSorensenAtZeroZZ)
+{
+    const Matrix u = ashn::realize(ashn::cnotClassParams(0.0));
+    EXPECT_TRUE(qop::equalUpToGlobalPhase(u, qop::msGate(), 1e-9));
+}
+
+TEST(SwapZZ, ZZCouplingShortensSwap)
+{
+    // Sec. 6.4: tau_opt([SWAP]) = 3 pi / (4 (1 + |h|/2)); realized by the
+    // scheme for either sign of h.
+    for (double h : {0.3, -0.3, 0.7}) {
+        const GateParams p = ashn::synthesize(ashn::swapPoint(), h, 0.0);
+        EXPECT_NEAR(p.tau, 3.0 * M_PI / (4.0 * (1.0 + std::abs(h) / 2.0)),
+                    1e-7)
+            << "h=" << h;
+        expectRealizes(p, ashn::swapPoint());
+    }
+}
+
+TEST(Bounds, GeneralBoundHoldsAtMaximalCutoff)
+{
+    linalg::Rng rng(3);
+    for (double h : {0.0, 0.4, -0.6}) {
+        const double r = (1.0 - std::abs(h)) * M_PI / 2.0;
+        const double bound = ashn::driveBoundGeneral(h);
+        for (int trial = 0; trial < 10; ++trial) {
+            const WeylPoint target = weyl::sampleChamber(rng);
+            const GateParams p = ashn::synthesize(target, h, r);
+            expectRealizes(p, target);
+            EXPECT_LE(p.maxDrive(), bound + 1e-6);
+        }
+    }
+}
+
+TEST(Scheme, RejectsInvalidArguments)
+{
+    EXPECT_THROW(ashn::synthesize({0.1, 0, 0}, 1.5, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(ashn::synthesize({0.1, 0, 0}, 0.0, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(ashn::synthesize({0.1, 0, 0}, 0.5, M_PI / 2.0),
+                 std::invalid_argument);
+    EXPECT_THROW(ashn::driveBound(0.0), std::invalid_argument);
+}
+
+TEST(AverageGateTime, ClosedFormMatchesQuadrature)
+{
+    // App. A.7.1's closed form against direct chamber quadrature of the
+    // time function, for several cutoffs.
+    for (double r : {0.0, 0.3, 0.7, 1.1}) {
+        const double viaQuad = weyl::chamberQuadrature(
+            [r](const WeylPoint &p) { return ashn::gateTime(p, 0.0, r); },
+            70);
+        EXPECT_NEAR(ashn::averageGateTime(r), viaQuad, 3e-3) << "r=" << r;
+    }
+    // r = 0 reproduces the optimal-time average 1.3408.
+    EXPECT_NEAR(ashn::averageGateTime(0.0), weyl::haarAverageOptimalTime(),
+                1e-12);
+}
+
+TEST(Scheme, SubSchemeNamesAreStable)
+{
+    EXPECT_EQ(ashn::subSchemeName(SubScheme::ND), "AshN-ND");
+    EXPECT_EQ(ashn::subSchemeName(SubScheme::EAPlus), "AshN-EA+");
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the calibration substrate: pulse envelopes, time-ordered
+ * evolution, the Cartan double, phase-estimation readout, and the
+ * instruction-set model fit.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ashn/hamiltonian.hh"
+#include "ashn/scheme.hh"
+#include "ashn/special.hh"
+#include "calib/cartan.hh"
+#include "calib/model.hh"
+#include "calib/pulse.hh"
+#include "linalg/random.hh"
+#include "linalg/decomp.hh"
+#include "qop/gates.hh"
+#include "qop/metrics.hh"
+#include "weyl/measure.hh"
+#include "weyl/weyl.hh"
+
+namespace {
+
+using namespace crisc;
+using linalg::Complex;
+using linalg::Matrix;
+using weyl::WeylPoint;
+
+TEST(Pulse, EnvelopeShapes)
+{
+    using calib::EnvelopeShape;
+    EXPECT_EQ(calib::envelope(EnvelopeShape::Square, 0.5, 1.0, 0.2), 1.0);
+    EXPECT_EQ(calib::envelope(EnvelopeShape::Trapezoid, 0.1, 1.0, 0.2), 0.5);
+    EXPECT_EQ(calib::envelope(EnvelopeShape::Trapezoid, 0.5, 1.0, 0.2), 1.0);
+    EXPECT_NEAR(calib::envelope(EnvelopeShape::Trapezoid, 0.95, 1.0, 0.2),
+                0.25, 1e-12);
+    EXPECT_NEAR(calib::envelope(EnvelopeShape::CosineRamp, 0.1, 1.0, 0.2),
+                0.5, 1e-12);
+    EXPECT_EQ(calib::envelope(EnvelopeShape::CosineRamp, 0.4, 1.0, 0.2), 1.0);
+}
+
+TEST(Pulse, SquareEnvelopeMatchesClosedForm)
+{
+    // Time-dependent evolution with a square envelope must reproduce the
+    // time-independent propagator.
+    const auto h = calib::pulsedHamiltonian(0.2, 0.7, 0.3, 0.4,
+                                            calib::EnvelopeShape::Square,
+                                            1.3, 0.0);
+    const Matrix u = calib::evolveTimeDependent(h, 1.3, 600);
+    const Matrix expected = ashn::evolve(1.3, 0.2, 0.7, 0.3, 0.4);
+    EXPECT_LT(linalg::maxAbsDiff(u, expected), 1e-6);
+}
+
+TEST(Pulse, RampedEnvelopeShiftsCoordinates)
+{
+    // A trapezoidal ramp reduces the delivered pulse area, so the
+    // realized chamber point moves; this is the calibration problem.
+    const ashn::GateParams p = ashn::cnotClassParams(0.0);
+    const auto h = calib::pulsedHamiltonian(
+        0.0, p.omega1, p.omega2, p.delta,
+        calib::EnvelopeShape::Trapezoid, p.tau, 0.15 * p.tau);
+    const Matrix u = calib::evolveTimeDependent(h, p.tau, 600);
+    const WeylPoint got = weyl::weylCoordinates(u);
+    EXPECT_GT(weyl::pointDistance(got, ashn::cnotPoint()), 1e-3);
+}
+
+TEST(Pulse, EvolutionIsUnitary)
+{
+    const auto h = calib::pulsedHamiltonian(0.1, 1.0, 0.5, 0.2,
+                                            calib::EnvelopeShape::CosineRamp,
+                                            2.0, 0.4);
+    EXPECT_TRUE(linalg::isUnitary(calib::evolveTimeDependent(h, 2.0, 300),
+                                  1e-10));
+}
+
+TEST(Cartan, CoordinatesRecoveredWithHint)
+{
+    // gamma(U) determines exp(2i eta.Sigma); with the intended point as
+    // prior (as in a real calibration), eta is recovered exactly,
+    // independent of the single-qubit content of U.
+    linalg::Rng rng(3);
+    for (int t = 0; t < 10; ++t) {
+        const Matrix u = linalg::haarUnitary(rng, 4);
+        const WeylPoint direct = weyl::weylCoordinates(u);
+        const WeylPoint viaCartan =
+            calib::coordinatesFromCartanDouble(u, &direct);
+        EXPECT_LT(weyl::pointDistance(direct, viaCartan), 1e-6);
+    }
+}
+
+TEST(Cartan, UnhintedReconstructionIsAValidSquareRoot)
+{
+    // Without a prior the reconstruction must still be a valid square
+    // root: its doubled canonical gate shares the spectrum of the true
+    // point's doubled canonical gate.
+    linalg::Rng rng(5);
+    auto doubledPhases = [](const WeylPoint &p) {
+        const Matrix can = qop::canonicalGate(p.x, p.y, p.z);
+        const auto es = linalg::eigNormal(can * can);
+        std::vector<double> ph;
+        for (const auto &v : es.values)
+            ph.push_back(std::arg(v));
+        std::sort(ph.begin(), ph.end());
+        return ph;
+    };
+    auto wrap = [](double a) {
+        while (a > M_PI)
+            a -= 2 * M_PI;
+        while (a <= -M_PI)
+            a += 2 * M_PI;
+        return a;
+    };
+    for (int t = 0; t < 6; ++t) {
+        const Matrix u = linalg::haarUnitary(rng, 4);
+        const WeylPoint direct = weyl::weylCoordinates(u);
+        const WeylPoint rec = calib::coordinatesFromCartanDouble(u);
+        const auto p1 = doubledPhases(direct);
+        const auto p2 = doubledPhases(rec);
+        // The doubled spectra agree up to the unknowable global phase
+        // branch (a multiple of pi/2).
+        double best = 1e300;
+        for (int k = 0; k < 4; ++k) {
+            std::vector<double> shifted;
+            for (double v : p2)
+                shifted.push_back(wrap(v + k * M_PI / 2.0));
+            std::sort(shifted.begin(), shifted.end());
+            double worst = 0.0;
+            for (int i = 0; i < 4; ++i)
+                worst = std::max(worst, std::abs(wrap(p1[i] - shifted[i])));
+            best = std::min(best, worst);
+        }
+        EXPECT_LT(best, 1e-6);
+    }
+}
+
+TEST(Cartan, ThetaInverseRealizedByReversedPulse)
+{
+    // Paper Fig. 4: Theta^{-1}(U) = YY U^T YY equals the evolution under
+    // the time-reversed waveform with flipped drive signs,
+    // -YY H(T-t)^T YY = H(-Omega1, -Omega2, -delta) at mirrored times.
+    const double T = 1.1, rise = 0.2;
+    const auto fwd = calib::pulsedHamiltonian(
+        0.15, 0.9, 0.4, 0.3, calib::EnvelopeShape::Trapezoid, T, rise);
+    const Matrix u = calib::evolveTimeDependent(fwd, T, 800);
+
+    const auto rev = [&](double t) {
+        // YY H(T-t)^T YY: the same waveform played backwards with the
+        // drive signs flipped (coupling and ZZ unchanged).
+        const Matrix h = fwd(T - t);
+        return Matrix(qop::pauliYY() * h.transpose() * qop::pauliYY());
+    };
+    const Matrix w = calib::evolveTimeDependent(rev, T, 800);
+    EXPECT_LT(linalg::maxAbsDiff(w, calib::thetaInverse(u)), 1e-6);
+}
+
+TEST(Cartan, ReversedDriveSignsForSquarePulse)
+{
+    // -theta(H(Omega1, Omega2, delta)) = H(-Omega1, -Omega2, -delta) for
+    // the square-pulse Hamiltonian (paper Sec. 5.1).
+    const Matrix h = ashn::hamiltonian(0.3, 0.8, 0.2, 0.5);
+    const Matrix lhs = Complex{-1.0, 0.0} *
+                       (qop::pauliYY() * h.transpose() * qop::pauliYY());
+    // H is symmetric and theta(H) = YY H YY; the identity says the
+    // flipped-drive Hamiltonian is recovered up to overall sign of the
+    // coupling part... verify the concrete statement instead:
+    const Matrix rhs = Complex{-1.0, 0.0} * ashn::hamiltonian(0.3, -0.8,
+                                                              -0.2, -0.5);
+    EXPECT_LT(linalg::maxAbsDiff(lhs, rhs), 1e-12);
+}
+
+TEST(Cartan, PhaseEstimationConvergesWithShots)
+{
+    linalg::Rng rng(7);
+    const Matrix u = ashn::evolve(1.1, 0.0, 0.8, 0.3, 0.2);
+    const WeylPoint exact = weyl::weylCoordinates(u);
+    const WeylPoint coarse =
+        calib::estimateCoordinates(u, 4, 200, rng, &exact);
+    const WeylPoint fine =
+        calib::estimateCoordinates(u, 8, 4000, rng, &exact);
+    EXPECT_LT(weyl::pointDistance(fine, exact), 0.01);
+    EXPECT_LE(weyl::pointDistance(fine, exact),
+              weyl::pointDistance(coarse, exact) + 0.01);
+}
+
+TEST(Model, ObjectiveVanishesForPerfectHardware)
+{
+    const calib::ControlModel ideal;
+    const std::vector<WeylPoint> probes = {
+        ashn::cnotPoint(), ashn::bGatePoint(), {0.5, 0.3, 0.1}};
+    EXPECT_LT(calib::modelObjective(ideal, ideal, probes, 0.0, 1.1), 1e-6);
+}
+
+TEST(Model, CalibrationRecoversTransferGains)
+{
+    const calib::ControlModel truth{1.07, 0.95, 1.12};
+    // Probes must exercise every control channel: ND-sector points pin
+    // the drive gains, EA-sector points (nonzero detuning) pin gainDelta.
+    const std::vector<WeylPoint> probes = {{M_PI / 4.0, 0.1, 0.05},
+                                           {0.7, 0.65, 0.5},
+                                           {0.5, 0.45, -0.35},
+                                           {0.6, 0.55, 0.3}};
+    const calib::CalibrationResult r =
+        calib::calibrateInstructionSet(truth, probes, 0.0, 1.1);
+    EXPECT_GT(r.objectiveBefore, 1e-3);
+    EXPECT_LT(r.objectiveAfter, 5e-4);
+    EXPECT_NEAR(r.fitted.gainOmega1, truth.gainOmega1, 0.02);
+    EXPECT_NEAR(r.fitted.gainOmega2, truth.gainOmega2, 0.02);
+    EXPECT_NEAR(r.fitted.gainDelta, truth.gainDelta, 0.02);
+}
+
+TEST(Model, NelderMeadMinimizesQuadratic)
+{
+    auto f = [](const std::vector<double> &x) {
+        return (x[0] - 2.0) * (x[0] - 2.0) + 3.0 * (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    const std::vector<double> best =
+        calib::nelderMead(f, {0.0, 0.0}, 0.5, 500, 1e-14);
+    EXPECT_NEAR(best[0], 2.0, 1e-5);
+    EXPECT_NEAR(best[1], -1.0, 1e-5);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for routing and the quantum-volume harness.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ashn/special.hh"
+#include "qv/qv.hh"
+#include "route/route.hh"
+#include "weyl/weyl.hh"
+
+namespace {
+
+using namespace crisc;
+using route::CouplingMap;
+using route::Layout;
+
+TEST(Route, GridAdjacency)
+{
+    const CouplingMap m = CouplingMap::grid(2, 3);
+    ASSERT_EQ(m.numQubits(), 6u);
+    EXPECT_TRUE(m.adjacent(0, 1));
+    EXPECT_TRUE(m.adjacent(1, 4));
+    EXPECT_FALSE(m.adjacent(0, 4));
+    EXPECT_FALSE(m.adjacent(0, 5));
+}
+
+TEST(Route, GridForTruncatesConnected)
+{
+    for (std::size_t n : {2u, 3u, 5u, 7u, 8u}) {
+        const CouplingMap m = CouplingMap::gridFor(n);
+        ASSERT_EQ(m.numQubits(), n);
+        // Connectivity: BFS reaches everything.
+        for (std::size_t q = 1; q < n; ++q)
+            EXPECT_FALSE(m.shortestPath(0, q).empty());
+    }
+}
+
+TEST(Route, ShortestPathOnGrid)
+{
+    const CouplingMap m = CouplingMap::grid(3, 3);
+    const auto path = m.shortestPath(0, 8);
+    EXPECT_EQ(path.size(), 5u); // Manhattan distance 4.
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 8u);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(m.adjacent(path[i], path[i + 1]));
+}
+
+TEST(Route, RoutePairMakesAdjacent)
+{
+    const CouplingMap m = CouplingMap::grid(3, 3);
+    Layout layout(9);
+    const auto swaps = route::routePair(m, layout, 0, 8);
+    EXPECT_EQ(swaps.size(), 3u); // distance 4 -> 3 swaps.
+    EXPECT_TRUE(m.adjacent(layout.physicalOf(0), layout.physicalOf(8)));
+    // Layout stays a permutation.
+    std::vector<bool> seen(9, false);
+    for (std::size_t l = 0; l < 9; ++l) {
+        const std::size_t p = layout.physicalOf(l);
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+        EXPECT_EQ(layout.logicalOf(p), l);
+    }
+}
+
+TEST(Route, AdjacentPairNeedsNoSwap)
+{
+    const CouplingMap m = CouplingMap::grid(2, 2);
+    Layout layout(4);
+    EXPECT_TRUE(route::routePair(m, layout, 0, 1).empty());
+}
+
+TEST(Qv, CompileCostsMatchPaperModel)
+{
+    using qv::NativeSet;
+    const weyl::WeylPoint swap = ashn::swapPoint();
+    const weyl::WeylPoint cnot = ashn::cnotPoint();
+
+    const auto cz = qv::compileCost(NativeSet::CZ, swap, 0.0);
+    EXPECT_EQ(cz.nativeGates, 3);
+    EXPECT_NEAR(cz.totalTime, 3.0 * M_PI / std::sqrt(2.0), 1e-12);
+
+    // CNOT class sits on the 2-SQiSW boundary x = y + |z|.
+    const auto sq = qv::compileCost(NativeSet::SQiSW, cnot, 0.0);
+    EXPECT_EQ(sq.nativeGates, 2);
+    const auto sq3 = qv::compileCost(NativeSet::SQiSW, swap, 0.0);
+    EXPECT_EQ(sq3.nativeGates, 3);
+
+    const auto an = qv::compileCost(NativeSet::AshN, swap, 0.0);
+    EXPECT_EQ(an.nativeGates, 1);
+    EXPECT_NEAR(an.totalTime, 3.0 * M_PI / 4.0, 1e-12);
+    // Near-identity gates under a cutoff pay the ND-EXT time.
+    const auto tiny = qv::compileCost(NativeSet::AshN, {0.01, 0.0, 0.0}, 1.1);
+    EXPECT_NEAR(tiny.totalTime, M_PI - 0.02, 1e-9);
+}
+
+TEST(Qv, NoiselessHeavyOutputIsHigh)
+{
+    // Without noise the heavy output proportion approaches the ideal
+    // (1 + ln 2)/2 ~ 0.85 for Haar-random circuits.
+    qv::QvConfig cfg;
+    cfg.width = 3;
+    cfg.native = qv::NativeSet::AshN;
+    cfg.czError = 0.0;
+    cfg.singleQubitError = 0.0;
+    cfg.circuits = 30;
+    cfg.trajectories = 1;
+    const qv::QvResult r = qv::heavyOutputExperiment(cfg);
+    EXPECT_GT(r.heavyOutputProportion, 0.75);
+    EXPECT_LT(r.heavyOutputProportion, 0.95);
+}
+
+TEST(Qv, NoiseLowersHeavyOutput)
+{
+    qv::QvConfig clean;
+    clean.width = 4;
+    clean.czError = 0.0;
+    clean.singleQubitError = 0.0;
+    clean.circuits = 12;
+    clean.trajectories = 1;
+    clean.seed = 5;
+    qv::QvConfig noisy = clean;
+    noisy.czError = 0.03;
+    noisy.singleQubitError = 0.001;
+    noisy.trajectories = 10;
+    const double hClean =
+        qv::heavyOutputExperiment(clean).heavyOutputProportion;
+    const double hNoisy =
+        qv::heavyOutputExperiment(noisy).heavyOutputProportion;
+    EXPECT_GT(hClean - hNoisy, 0.05);
+}
+
+TEST(Qv, AshnBeatsCzAtEqualErrorRate)
+{
+    // The headline of Figure 7: shorter gates, fewer native gates,
+    // higher heavy-output proportion.
+    qv::QvConfig cfg;
+    cfg.width = 4;
+    cfg.czError = 0.03;
+    cfg.circuits = 20;
+    cfg.trajectories = 10;
+    cfg.seed = 9;
+    cfg.native = qv::NativeSet::AshN;
+    const double ashn =
+        qv::heavyOutputExperiment(cfg).heavyOutputProportion;
+    cfg.native = qv::NativeSet::CZ;
+    const double czv = qv::heavyOutputExperiment(cfg).heavyOutputProportion;
+    EXPECT_GT(ashn, czv + 0.02);
+}
+
+TEST(Qv, SwapOverheadTracked)
+{
+    qv::QvConfig cfg;
+    cfg.width = 5;
+    cfg.circuits = 5;
+    cfg.trajectories = 1;
+    const qv::QvResult r = qv::heavyOutputExperiment(cfg);
+    EXPECT_GT(r.avgSwapsPerCircuit, 0.0);
+    EXPECT_GT(r.avgNativeGatesPerCircuit, 0.0);
+    EXPECT_GT(r.avgTwoQubitTimePerCircuit, 0.0);
+}
+
+} // namespace
