@@ -2,7 +2,9 @@
  * @file
  * google-benchmark microbenchmarks for the library's hot paths: KAK
  * decomposition, AshN synthesis (closed-form ND and root-finding EA),
- * CSD, Hamiltonian propagators, and statevector gate application.
+ * CSD, Hamiltonian propagators, and the statevector engine's gate
+ * kernels (1q/2q strided kernels, fusion, threaded trajectory batches).
+ * Kernel benchmarks report gates/sec as items_per_second.
  */
 
 #include <benchmark/benchmark.h>
@@ -12,6 +14,10 @@
 #include "linalg/expm.hh"
 #include "linalg/random.hh"
 #include "qop/gates.hh"
+#include "qv/qv.hh"
+#include "sim/batch.hh"
+#include "sim/engine.hh"
+#include "sim/kernels.hh"
 #include "synth/csd.hh"
 #include "synth/two_qubit.hh"
 #include "weyl/weyl.hh"
@@ -96,8 +102,132 @@ BM_StatevectorTwoQubitGate(benchmark::State &state)
     circuit::State s(n);
     for (auto _ : state)
         s.apply(u, {0, n - 1});
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StatevectorTwoQubitGate)->Arg(6)->Arg(10)->Arg(14);
+
+// ---------------------------------------------------------------------
+// sim/ kernel microbenchmarks. items_per_second == gates/sec.
+// ---------------------------------------------------------------------
+
+void
+BM_Sim1qKernel(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    linalg::Rng rng(5);
+    const linalg::Matrix u = linalg::haarUnitary(rng, 2);
+    const linalg::Complex m[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+    linalg::CVector amps(std::size_t{1} << n, {0.0, 0.0});
+    amps[0] = 1.0;
+    std::size_t q = 0;
+    for (auto _ : state) {
+        sim::apply1q(amps.data(), n, q, m);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sim1qKernel)->Arg(6)->Arg(10)->Arg(14);
+
+void
+BM_Sim1qDiagKernel(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    const linalg::Matrix u = qop::rz(0.5);
+    linalg::CVector amps(std::size_t{1} << n, {0.0, 0.0});
+    amps[0] = 1.0;
+    std::size_t q = 0;
+    for (auto _ : state) {
+        sim::apply1qDiag(amps.data(), n, q, u(0, 0), u(1, 1));
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sim1qDiagKernel)->Arg(10)->Arg(14);
+
+void
+BM_Sim2qKernel(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    linalg::Rng rng(6);
+    const linalg::Matrix u = linalg::haarUnitary(rng, 4);
+    linalg::CVector amps(std::size_t{1} << n, {0.0, 0.0});
+    amps[0] = 1.0;
+    std::size_t q = 0;
+    for (auto _ : state) {
+        sim::apply2q(amps.data(), n, q, (q + 1) % n, u.data());
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sim2qKernel)->Arg(6)->Arg(10)->Arg(14);
+
+/** A Trotter-ish layer circuit: per qubit rz-rx-rz, then a CZ ladder. */
+circuit::Circuit
+fusionWorkload(std::size_t n, std::size_t layers)
+{
+    circuit::Circuit c(n);
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t q = 0; q < n; ++q) {
+            c.add(qop::rz(0.1 + 0.01 * l), {q});
+            c.add(qop::rx(0.2), {q});
+            c.add(qop::rz(0.3), {q});
+        }
+        for (std::size_t q = 0; q + 1 < n; q += 2)
+            c.add(qop::cz(), {q, q + 1});
+    }
+    return c;
+}
+
+void
+BM_EngineFused(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    const circuit::Circuit c = fusionWorkload(n, 8);
+    const sim::Plan plan = sim::compile(c, {.fuseSingleQubit = true});
+    linalg::CVector amps(std::size_t{1} << n);
+    for (auto _ : state) {
+        std::fill(amps.begin(), amps.end(), linalg::Complex{0.0, 0.0});
+        amps[0] = 1.0;
+        sim::execute(plan, amps.data());
+    }
+    state.SetItemsProcessed(state.iterations() * c.size());
+}
+BENCHMARK(BM_EngineFused)->Arg(8)->Arg(12);
+
+void
+BM_EngineUnfused(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    const circuit::Circuit c = fusionWorkload(n, 8);
+    const sim::Plan plan = sim::compile(c, {.fuseSingleQubit = false});
+    linalg::CVector amps(std::size_t{1} << n);
+    for (auto _ : state) {
+        std::fill(amps.begin(), amps.end(), linalg::Complex{0.0, 0.0});
+        amps[0] = 1.0;
+        sim::execute(plan, amps.data());
+    }
+    state.SetItemsProcessed(state.iterations() * c.size());
+}
+BENCHMARK(BM_EngineUnfused)->Arg(8)->Arg(12);
+
+/** Noisy QV-style trajectory batch; Arg = worker threads. */
+void
+BM_TrajectoryBatch(benchmark::State &state)
+{
+    qv::QvConfig cfg;
+    cfg.width = 5;
+    cfg.czError = 0.012;
+    cfg.circuits = 2;
+    cfg.trajectories = 32;
+    cfg.seed = 3;
+    cfg.threads = state.range(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(qv::heavyOutputExperiment(cfg));
+    state.SetItemsProcessed(state.iterations() * cfg.circuits *
+                            cfg.trajectories);
+}
+BENCHMARK(BM_TrajectoryBatch)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

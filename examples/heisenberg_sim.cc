@@ -19,6 +19,7 @@
 #include "circuit/circuit.hh"
 #include "linalg/expm.hh"
 #include "qop/gates.hh"
+#include "sim/engine.hh"
 #include "synth/two_qubit.hh"
 #include "weyl/weyl.hh"
 
@@ -66,8 +67,17 @@ main()
         return s;
     };
 
+    // Compile the Trotter circuit to a kernel plan once and execute it
+    // on the prepared state; the engine lowers every bond gate to the
+    // strided 4x4 quad kernel.
+    const sim::Plan plan = sim::compile(trotter);
+    std::printf("kernel plan: %zu source gates -> %zu kernel ops "
+                "(%zu fused, %zu diagonal, %zu dense)\n",
+                plan.stats().sourceGates, plan.stats().kernelOps,
+                plan.stats().fusedGates, plan.stats().diagOps,
+                plan.stats().denseOps);
     State approx = prepare();
-    approx.run(trotter);
+    sim::execute(plan, approx.data());
 
     // Exact evolution via the full 2^n Hamiltonian.
     Matrix hfull(std::size_t{1} << n, std::size_t{1} << n);

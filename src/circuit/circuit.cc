@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "qop/gates.hh"
+#include "sim/kernels.hh"
 
 namespace crisc {
 namespace circuit {
@@ -59,48 +60,13 @@ State::State(std::size_t num_qubits)
 void
 State::apply(const Matrix &op, const std::vector<std::size_t> &qubits)
 {
-    const std::size_t k = qubits.size();
-    const std::size_t gdim = std::size_t{1} << k;
+    const std::size_t gdim = std::size_t{1} << qubits.size();
     if (op.rows() != gdim || op.cols() != gdim)
         throw std::invalid_argument("State::apply: operator size mismatch");
-
-    // Bit positions of the addressed qubits (qubit 0 is msb).
-    std::vector<std::size_t> pos(k);
-    for (std::size_t b = 0; b < k; ++b) {
-        if (qubits[b] >= nQubits_)
+    for (std::size_t q : qubits)
+        if (q >= nQubits_)
             throw std::invalid_argument("State::apply: qubit out of range");
-        pos[b] = nQubits_ - 1 - qubits[b];
-    }
-
-    // Iterate over all assignments of the untouched qubits and apply the
-    // dense k-qubit block to each amplitude group.
-    const std::size_t dim = amps_.size();
-    std::size_t mask = 0;
-    for (std::size_t p : pos)
-        mask |= std::size_t{1} << p;
-
-    std::vector<Complex> in(gdim), out(gdim);
-    for (std::size_t base = 0; base < dim; ++base) {
-        if (base & mask)
-            continue; // visit each group once, at its all-zeros member
-        std::vector<std::size_t> idx(gdim);
-        for (std::size_t g = 0; g < gdim; ++g) {
-            std::size_t address = base;
-            for (std::size_t b = 0; b < k; ++b)
-                if ((g >> (k - 1 - b)) & 1)
-                    address |= std::size_t{1} << pos[b];
-            idx[g] = address;
-            in[g] = amps_[address];
-        }
-        for (std::size_t r = 0; r < gdim; ++r) {
-            Complex s = 0.0;
-            for (std::size_t c = 0; c < gdim; ++c)
-                s += op(r, c) * in[c];
-            out[r] = s;
-        }
-        for (std::size_t g = 0; g < gdim; ++g)
-            amps_[idx[g]] = out[g];
-    }
+    sim::applyGate(amps_.data(), nQubits_, op, qubits);
 }
 
 void

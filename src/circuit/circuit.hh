@@ -70,7 +70,15 @@ class State
     std::size_t numQubits() const { return nQubits_; }
     const CVector &amplitudes() const { return amps_; }
 
-    /** Applies a k-qubit gate in place (k small; matrix is 2^k x 2^k). */
+    /** Raw amplitude storage, for the sim kernels and noise channels. */
+    Complex *data() { return amps_.data(); }
+    const Complex *data() const { return amps_.data(); }
+
+    /**
+     * Applies a k-qubit gate in place (matrix is 2^k x 2^k). Gates on
+     * one or two qubits dispatch to the specialized kernels in
+     * sim/kernels.hh; larger gates take the generic dense path.
+     */
     void apply(const Matrix &op, const std::vector<std::size_t> &qubits);
 
     /** Runs a whole circuit. */

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "qop/gates.hh"
+#include "sim/kernels.hh"
 
 namespace crisc {
 namespace circuit {
@@ -25,8 +26,9 @@ pauliByIndex(std::size_t idx)
 }
 
 void
-applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
-                  double p, linalg::Rng &rng)
+applyDepolarizing(Complex *amps, std::size_t n_qubits,
+                  const std::vector<std::size_t> &qubits, double p,
+                  linalg::Rng &rng)
 {
     if (p <= 0.0)
         return;
@@ -41,8 +43,49 @@ applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
         const std::size_t single = code % 4;
         code /= 4;
         if (single != 0)
-            state.apply(pauliByIndex(single), {qubits[b]});
+            sim::applyPauli(amps, n_qubits, qubits[b], single);
     }
+}
+
+void
+applyDepolarizing(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                  double p, linalg::Rng &rng)
+{
+    if (p <= 0.0)
+        return;
+    if (rng.uniform() >= p)
+        return;
+    sim::applyPauli(amps, n_qubits, qubit, 1 + rng.index(3));
+}
+
+void
+applyDepolarizing(Complex *amps, std::size_t n_qubits, std::size_t qubit_a,
+                  std::size_t qubit_b, double p, linalg::Rng &rng)
+{
+    if (p <= 0.0)
+        return;
+    if (rng.uniform() >= p)
+        return;
+    const std::size_t pick = 1 + rng.index(15);
+    // Base-4 Pauli string, least significant digit on qubit_a (the
+    // same encoding the vector overload uses for {a, b}).
+    const std::size_t onA = pick % 4;
+    const std::size_t onB = pick / 4;
+    if (onA != 0)
+        sim::applyPauli(amps, n_qubits, qubit_a, onA);
+    if (onB != 0)
+        sim::applyPauli(amps, n_qubits, qubit_b, onB);
+}
+
+void
+applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
+                  double p, linalg::Rng &rng)
+{
+    for (std::size_t q : qubits)
+        if (q >= state.numQubits())
+            throw std::invalid_argument(
+                "applyDepolarizing: qubit out of range");
+    applyDepolarizing(state.data(), state.numQubits(), qubits, p, rng);
 }
 
 } // namespace circuit

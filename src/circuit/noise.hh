@@ -24,6 +24,24 @@ namespace circuit {
 void applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
                        double p, linalg::Rng &rng);
 
+/**
+ * Raw-statevector form used by the trajectory batch runner: identical
+ * sampling, with the Pauli applied through the specialized 1-qubit
+ * kernel (sim::applyPauli) instead of a dense 2x2 multiply.
+ */
+void applyDepolarizing(Complex *amps, std::size_t n_qubits,
+                       const std::vector<std::size_t> &qubits, double p,
+                       linalg::Rng &rng);
+
+/** 1-qubit fast path: no container allocation in the hot loop. */
+void applyDepolarizing(Complex *amps, std::size_t n_qubits,
+                       std::size_t qubit, double p, linalg::Rng &rng);
+
+/** 2-qubit fast path: no container allocation in the hot loop. */
+void applyDepolarizing(Complex *amps, std::size_t n_qubits,
+                       std::size_t qubit_a, std::size_t qubit_b, double p,
+                       linalg::Rng &rng);
+
 /** The single-qubit Pauli with index 0..3 = I, X, Y, Z. */
 const Matrix &pauliByIndex(std::size_t idx);
 

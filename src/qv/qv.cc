@@ -10,11 +10,13 @@
 #include "circuit/noise.hh"
 #include "qop/gates.hh"
 #include "route/route.hh"
+#include "sim/batch.hh"
+#include "sim/engine.hh"
 
 namespace crisc {
 namespace qv {
 
-using circuit::State;
+using linalg::Complex;
 using linalg::Matrix;
 using weyl::WeylPoint;
 
@@ -23,14 +25,27 @@ namespace {
 constexpr double kCzTime = M_PI / std::numbers::sqrt2;
 constexpr double kSqiswTime = M_PI / 4.0;
 
-/** One physical two-qubit block with its native-gate noise budget. */
+/**
+ * One physical two-qubit block, pre-lowered to a flat 4x4 kernel
+ * operand, with its native-gate noise budget.
+ */
 struct PhysicalOp
 {
-    std::size_t a, b;   ///< physical qubits.
-    Matrix u;           ///< ideal 4x4 unitary applied.
-    int natives;        ///< native gates used to realize it.
-    double p2;          ///< two-qubit depolarizing rate per native gate.
+    std::size_t a, b;              ///< physical qubits (a = gate msq).
+    std::array<Complex, 16> m;     ///< ideal 4x4 unitary, row-major.
+    int natives;                   ///< native gates used to realize it.
+    double p2;                     ///< 2q depolarizing rate per native gate.
 };
+
+std::array<Complex, 16>
+flatten4(const Matrix &u)
+{
+    std::array<Complex, 16> m;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            m[r * 4 + c] = u(r, c);
+    return m;
+}
 
 } // namespace
 
@@ -71,14 +86,22 @@ heavyOutputExperiment(const QvConfig &config)
 {
     const std::size_t d = config.width;
     const std::size_t dim = std::size_t{1} << d;
-    linalg::Rng rng(config.seed);
     const route::CouplingMap map = route::CouplingMap::gridFor(d);
     const WeylPoint swapPoint = ashn::swapPoint();
+    sim::ThreadPool pool(static_cast<std::size_t>(
+        config.threads < 0 ? 1 : config.threads));
 
     double heavySum = 0.0;
     double gateSum = 0.0, timeSum = 0.0, swapSum = 0.0;
 
     for (int ci = 0; ci < config.circuits; ++ci) {
+        // Circuit generation and noise sampling draw from separate
+        // seed-derived streams (even / odd), so a circuit's gates
+        // depend only on (seed, ci) — never on how many trajectories
+        // or threads earlier circuits ran with.
+        const std::uint64_t circuitStream = 2 * std::uint64_t(ci);
+        linalg::Rng genRng(sim::streamSeed(config.seed, circuitStream));
+
         // --- Model circuit: d layers of random pairings + Haar SU(4).
         struct Block
         {
@@ -90,19 +113,23 @@ heavyOutputExperiment(const QvConfig &config)
         for (std::size_t i = 0; i < d; ++i)
             order[i] = i;
         for (std::size_t layer = 0; layer < d; ++layer) {
-            std::shuffle(order.begin(), order.end(), rng.engine());
+            std::shuffle(order.begin(), order.end(), genRng.engine());
             for (std::size_t k = 0; k + 1 < d; k += 2) {
                 layers[layer].push_back(
-                    {order[k], order[k + 1], linalg::haarSU(rng, 4)});
+                    {order[k], order[k + 1], linalg::haarSU(genRng, 4)});
             }
         }
 
-        // --- Ideal output distribution and heavy set.
-        State ideal(d);
+        // --- Ideal output distribution and heavy set, via the kernel
+        // engine (fusion is a no-op here; the quad kernel is not).
+        circuit::Circuit model(d);
         for (const auto &layer : layers)
             for (const Block &blk : layer)
-                ideal.apply(blk.u, {blk.a, blk.b});
-        std::vector<double> probs = ideal.probabilities();
+                model.add(blk.u, {blk.a, blk.b});
+        const linalg::CVector idealAmps = sim::run(sim::compile(model));
+        std::vector<double> probs(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            probs[i] = std::norm(idealAmps[i]);
         std::vector<double> sorted = probs;
         std::nth_element(sorted.begin(), sorted.begin() + dim / 2,
                          sorted.end());
@@ -125,7 +152,8 @@ heavyOutputExperiment(const QvConfig &config)
                 const auto swaps =
                     route::routePair(map, layout, blk.a, blk.b);
                 for (const auto &sw : swaps) {
-                    ops.push_back({sw.first, sw.second, qop::swapGate(),
+                    ops.push_back({sw.first, sw.second,
+                                   flatten4(qop::swapGate()),
                                    swapCost.nativeGates,
                                    config.czError *
                                        (swapCost.totalTime /
@@ -137,7 +165,7 @@ heavyOutputExperiment(const QvConfig &config)
                 const CompiledCost cost =
                     compileCost(config.native, p, config.ashnCutoff);
                 ops.push_back({layout.physicalOf(blk.a),
-                               layout.physicalOf(blk.b), blk.u,
+                               layout.physicalOf(blk.b), flatten4(blk.u),
                                cost.nativeGates,
                                config.czError *
                                    (cost.totalTime / cost.nativeGates) /
@@ -149,34 +177,48 @@ heavyOutputExperiment(const QvConfig &config)
             }
         }
 
-        // --- Noisy trajectories.
-        for (int t = 0; t < config.trajectories; ++t) {
-            State s(d);
-            for (const PhysicalOp &op : ops) {
-                s.apply(op.u, {op.a, op.b});
-                for (int g = 0; g < op.natives; ++g) {
-                    circuit::applyDepolarizing(s, {op.a, op.b}, op.p2, rng);
-                    circuit::applyDepolarizing(
-                        s, {op.a}, config.singleQubitError, rng);
-                    circuit::applyDepolarizing(
-                        s, {op.b}, config.singleQubitError, rng);
-                }
+        // Physical basis index -> logical basis index through the final
+        // layout, shared read-only by every trajectory.
+        std::vector<std::size_t> logicalIndex(dim);
+        for (std::size_t phys = 0; phys < dim; ++phys) {
+            std::size_t logical = 0;
+            for (std::size_t l = 0; l < d; ++l) {
+                const std::size_t pq = layout.physicalOf(l);
+                const std::size_t bit = (phys >> (d - 1 - pq)) & 1;
+                logical |= bit << (d - 1 - l);
             }
-            // Heavy output probability, translating physical indices
-            // back to logical bitstrings through the final layout.
-            double hop = 0.0;
-            for (std::size_t phys = 0; phys < dim; ++phys) {
-                std::size_t logical = 0;
-                for (std::size_t l = 0; l < d; ++l) {
-                    const std::size_t pq = layout.physicalOf(l);
-                    const std::size_t bit = (phys >> (d - 1 - pq)) & 1;
-                    logical |= bit << (d - 1 - l);
-                }
-                if (heavy[logical])
-                    hop += s.probability(phys);
-            }
-            heavySum += hop;
+            logicalIndex[phys] = logical;
         }
+
+        // --- Noisy trajectories, fanned out over the pool. Each
+        // trajectory owns a statevector and an RNG stream derived from
+        // (seed, circuit, trajectory).
+        heavySum += sim::sumTrajectories(
+            pool,
+            static_cast<std::size_t>(std::max(config.trajectories, 0)),
+            sim::streamSeed(config.seed, circuitStream + 1),
+            [&](std::size_t, linalg::Rng &rng) {
+                linalg::CVector amps(dim, Complex{0.0, 0.0});
+                amps[0] = 1.0;
+                for (const PhysicalOp &op : ops) {
+                    sim::apply2q(amps.data(), d, op.a, op.b, op.m.data());
+                    for (int g = 0; g < op.natives; ++g) {
+                        circuit::applyDepolarizing(amps.data(), d, op.a,
+                                                   op.b, op.p2, rng);
+                        circuit::applyDepolarizing(
+                            amps.data(), d, op.a,
+                            config.singleQubitError, rng);
+                        circuit::applyDepolarizing(
+                            amps.data(), d, op.b,
+                            config.singleQubitError, rng);
+                    }
+                }
+                double hop = 0.0;
+                for (std::size_t phys = 0; phys < dim; ++phys)
+                    if (heavy[logicalIndex[phys]])
+                        hop += std::norm(amps[phys]);
+                return hop;
+            });
     }
 
     QvResult out;

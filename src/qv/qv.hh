@@ -37,6 +37,13 @@ struct QvConfig
     int circuits = 40;           ///< random model circuits to average.
     int trajectories = 20;       ///< noise trajectories per circuit.
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for the trajectory batch (0 = hardware
+     * concurrency). Results are bit-for-bit identical for any value:
+     * every trajectory draws from its own seed-derived RNG stream and
+     * the reduction order is fixed.
+     */
+    int threads = 0;
 };
 
 /** Aggregated result for one configuration. */

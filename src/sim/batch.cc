@@ -1,0 +1,151 @@
+#include "batch.hh"
+
+namespace crisc {
+namespace sim {
+
+std::uint64_t
+streamSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // splitmix64 finalizer over the combined word; the golden-ratio
+    // multiplier separates (base, stream) pairs that differ in either
+    // component.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    nThreads_ = num_threads;
+    workers_.reserve(nThreads_ - 1);
+    for (std::size_t i = 0; i + 1 < nThreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        jobCount_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        remaining_ = count;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller works the same queue as the pool threads.
+    for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            break;
+        fn(i);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--remaining_ == 0) {
+            done_.notify_all();
+            break;
+        }
+    }
+
+    // Wait for all items AND for every worker to leave the job's inner
+    // loop; a worker still inside it holds a pointer to fn, which dies
+    // when this function returns.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock,
+               [this] { return remaining_ == 0 && activeWorkers_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *job = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            job = job_;
+            count = jobCount_;
+            if (job)
+                ++activeWorkers_;
+        }
+        if (!job)
+            continue;
+        for (;;) {
+            const std::size_t i =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                break;
+            (*job)(i);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--remaining_ == 0)
+                done_.notify_all();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--activeWorkers_ == 0 && remaining_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+std::vector<double>
+runTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
+                const std::function<double(std::size_t, linalg::Rng &)> &body)
+{
+    std::vector<double> results(count, 0.0);
+    pool.parallelFor(count, [&](std::size_t t) {
+        linalg::Rng rng(streamSeed(base_seed, t));
+        results[t] = body(t, rng);
+    });
+    return results;
+}
+
+double
+sumTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
+                const std::function<double(std::size_t, linalg::Rng &)> &body)
+{
+    const std::vector<double> results =
+        runTrajectories(pool, count, base_seed, body);
+    double sum = 0.0;
+    for (double r : results)
+        sum += r;
+    return sum;
+}
+
+} // namespace sim
+} // namespace crisc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parallel trajectory batching. The heavy workloads (quantum volume,
+ * noise studies) are embarrassingly parallel across noise trajectories
+ * and random circuits; this module fans that axis out over a pool of
+ * std::thread workers while keeping results bit-for-bit deterministic:
+ *
+ *   - every trajectory draws from its own RNG stream, derived from the
+ *     experiment seed and the trajectory index by a splitmix64 hash, so
+ *     the random numbers a trajectory sees never depend on scheduling;
+ *   - per-trajectory results land in an indexed slot and are reduced
+ *     sequentially afterwards, so floating-point summation order is
+ *     fixed regardless of thread count (including 1).
+ */
+
+#ifndef CRISC_SIM_BATCH_HH
+#define CRISC_SIM_BATCH_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "linalg/random.hh"
+
+namespace crisc {
+namespace sim {
+
+/**
+ * Derives an independent RNG stream seed from a base seed and a stream
+ * index (splitmix64 of the combined word). Distinct (base, stream)
+ * pairs give statistically independent mt19937_64 seeds.
+ */
+std::uint64_t streamSeed(std::uint64_t base, std::uint64_t stream);
+
+/**
+ * A pool of persistent worker threads executing indexed task batches.
+ * The calling thread participates in the batch, so a pool of size 1
+ * runs everything inline with no synchronization surprises.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads worker count; 0 means hardware concurrency. */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads that execute a batch (workers + caller). */
+    std::size_t size() const { return nThreads_; }
+
+    /**
+     * Runs fn(0) .. fn(count - 1), distributing indices over the pool.
+     * Blocks until every index has completed. fn must not throw.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::size_t nThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;
+    bool stopping_ = false;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t jobCount_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::size_t remaining_ = 0;
+    std::size_t activeWorkers_ = 0;
+};
+
+/**
+ * Runs @p count trajectories and returns the per-trajectory results in
+ * index order. Each trajectory t receives a fresh Rng seeded with
+ * streamSeed(base_seed, t). Deterministic for fixed (count, base_seed)
+ * regardless of the pool's thread count.
+ */
+std::vector<double>
+runTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
+                const std::function<double(std::size_t, linalg::Rng &)> &body);
+
+/** runTrajectories followed by a fixed-order sum. */
+double
+sumTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
+                const std::function<double(std::size_t, linalg::Rng &)> &body);
+
+} // namespace sim
+} // namespace crisc
+
+#endif // CRISC_SIM_BATCH_HH

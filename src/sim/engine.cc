@@ -1,0 +1,185 @@
+#include "engine.hh"
+
+#include <optional>
+#include <stdexcept>
+
+namespace crisc {
+namespace sim {
+
+namespace {
+
+using Mat2 = std::array<Complex, 4>;
+
+bool
+isDiag2(const Mat2 &m)
+{
+    return m[1] == Complex{0.0, 0.0} && m[2] == Complex{0.0, 0.0};
+}
+
+/** Pending fused 1q gate on one qubit during compilation. */
+struct Pending
+{
+    Mat2 m;
+    std::size_t absorbed = 0; ///< source gates merged beyond the first.
+};
+
+class Compiler
+{
+  public:
+    Compiler(std::size_t n, const CompileOptions &opts)
+        : opts_(opts), pending_(n)
+    {
+    }
+
+    void addGate(const circuit::Gate &g)
+    {
+        ++stats_.sourceGates;
+        if (g.qubits.size() == 1) {
+            addOneQ(g);
+            return;
+        }
+        for (std::size_t q : g.qubits)
+            flush(q);
+        if (g.qubits.size() == 2)
+            addTwoQ(g);
+        else
+            addDense(g);
+    }
+
+    Plan finish(std::size_t n)
+    {
+        for (std::size_t q = 0; q < pending_.size(); ++q)
+            flush(q);
+        stats_.kernelOps = ops_.size();
+        return Plan(n, std::move(ops_), stats_);
+    }
+
+  private:
+    void addOneQ(const circuit::Gate &g)
+    {
+        const std::size_t q = g.qubits[0];
+        const Mat2 gm{g.op(0, 0), g.op(0, 1), g.op(1, 0), g.op(1, 1)};
+        std::optional<Pending> &slot = pending_[q];
+        if (!slot) {
+            slot = Pending{gm, 0};
+        } else {
+            // Gate acts after the pending product: new = g * pending.
+            const Mat2 &p = slot->m;
+            slot->m = {gm[0] * p[0] + gm[1] * p[2],
+                       gm[0] * p[1] + gm[1] * p[3],
+                       gm[2] * p[0] + gm[3] * p[2],
+                       gm[2] * p[1] + gm[3] * p[3]};
+            ++slot->absorbed;
+        }
+        if (!opts_.fuseSingleQubit)
+            flush(q);
+    }
+
+    void addTwoQ(const circuit::Gate &g)
+    {
+        KernelOp op;
+        op.q0 = g.qubits[0];
+        op.q1 = g.qubits[1];
+        if (exactlyDiagonal(g.op)) {
+            op.kind = KernelKind::TwoQDiag;
+            op.m = {g.op(0, 0), g.op(1, 1), g.op(2, 2), g.op(3, 3)};
+            ++stats_.diagOps;
+        } else {
+            op.kind = KernelKind::TwoQ;
+            for (std::size_t r = 0; r < 4; ++r)
+                for (std::size_t c = 0; c < 4; ++c)
+                    op.m[r * 4 + c] = g.op(r, c);
+        }
+        ops_.push_back(std::move(op));
+    }
+
+    void addDense(const circuit::Gate &g)
+    {
+        KernelOp op;
+        op.kind = KernelKind::Dense;
+        op.dense = g.op;
+        op.qubits = g.qubits;
+        ++stats_.denseOps;
+        ops_.push_back(std::move(op));
+    }
+
+    void flush(std::size_t q)
+    {
+        std::optional<Pending> &slot = pending_[q];
+        if (!slot)
+            return;
+        KernelOp op;
+        op.q0 = q;
+        if (isDiag2(slot->m)) {
+            op.kind = KernelKind::OneQDiag;
+            op.m[0] = slot->m[0];
+            op.m[1] = slot->m[3];
+            ++stats_.diagOps;
+        } else {
+            op.kind = KernelKind::OneQ;
+            for (std::size_t i = 0; i < 4; ++i)
+                op.m[i] = slot->m[i];
+        }
+        stats_.fusedGates += slot->absorbed;
+        ops_.push_back(std::move(op));
+        slot.reset();
+    }
+
+    const CompileOptions &opts_;
+    std::vector<std::optional<Pending>> pending_;
+    std::vector<KernelOp> ops_;
+    PlanStats stats_;
+};
+
+} // namespace
+
+Plan
+compile(const circuit::Circuit &c, const CompileOptions &opts)
+{
+    Compiler compiler(c.numQubits(), opts);
+    for (const circuit::Gate &g : c.gates())
+        compiler.addGate(g);
+    return compiler.finish(c.numQubits());
+}
+
+void
+executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits)
+{
+    switch (op.kind) {
+      case KernelKind::OneQ:
+        apply1q(amps, n_qubits, op.q0, op.m.data());
+        return;
+      case KernelKind::OneQDiag:
+        apply1qDiag(amps, n_qubits, op.q0, op.m[0], op.m[1]);
+        return;
+      case KernelKind::TwoQ:
+        apply2q(amps, n_qubits, op.q0, op.q1, op.m.data());
+        return;
+      case KernelKind::TwoQDiag:
+        apply2qDiag(amps, n_qubits, op.q0, op.q1, op.m.data());
+        return;
+      case KernelKind::Dense:
+        applyDense(amps, n_qubits, op.dense, op.qubits);
+        return;
+    }
+    throw std::logic_error("executeOp: unknown kernel kind");
+}
+
+void
+execute(const Plan &plan, Complex *amps)
+{
+    for (const KernelOp &op : plan.ops())
+        executeOp(op, amps, plan.numQubits());
+}
+
+linalg::CVector
+run(const Plan &plan)
+{
+    linalg::CVector amps(plan.dim(), Complex{0.0, 0.0});
+    amps[0] = 1.0;
+    execute(plan, amps.data());
+    return amps;
+}
+
+} // namespace sim
+} // namespace crisc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Statevector engine: compiles a circuit::Circuit into a plan of
+ * specialized gate kernels before execution. Compilation
+ *
+ *   - fuses runs of adjacent single-qubit gates on the same qubit into
+ *     one 2x2 kernel application (a Trotter layer of rz-rx-rz costs one
+ *     sweep instead of three),
+ *   - detects exactly-diagonal 1q/2q operators and lowers them to the
+ *     phase-only kernels, and
+ *   - lowers everything of width <= 2 to the strided pair/quad kernels
+ *     in kernels.hh, leaving only k >= 3 gates on the generic dense
+ *     path.
+ *
+ * A Plan is immutable after compile() and safe to execute from many
+ * threads at once on distinct statevectors, which is what the
+ * trajectory batch runner (batch.hh) does.
+ */
+
+#ifndef CRISC_SIM_ENGINE_HH
+#define CRISC_SIM_ENGINE_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "sim/kernels.hh"
+
+namespace crisc {
+namespace sim {
+
+/** Which kernel a compiled operation dispatches to. */
+enum class KernelKind
+{
+    OneQ,     ///< dense 2x2 via apply1q.
+    OneQDiag, ///< diagonal 2x2 via apply1qDiag.
+    TwoQ,     ///< dense 4x4 via apply2q.
+    TwoQDiag, ///< diagonal 4x4 via apply2qDiag.
+    Dense,    ///< generic k >= 3 gate via applyDense.
+};
+
+/** One lowered operation of a compiled plan. */
+struct KernelOp
+{
+    KernelKind kind = KernelKind::OneQ;
+    std::size_t q0 = 0; ///< most significant gate qubit.
+    std::size_t q1 = 0; ///< second gate qubit (TwoQ / TwoQDiag only).
+    /** 1q kernels use m[0..3]; 2q uses m[0..15]; diag kernels use the
+     *  leading 2 or 4 entries as the diagonal. */
+    std::array<Complex, 16> m{};
+    Matrix dense;                     ///< Dense fallback operator.
+    std::vector<std::size_t> qubits;  ///< Dense fallback qubit list.
+};
+
+/** Compilation statistics, reported by benchmarks and tests. */
+struct PlanStats
+{
+    std::size_t sourceGates = 0; ///< gates in the input circuit.
+    std::size_t kernelOps = 0;   ///< operations after lowering.
+    std::size_t fusedGates = 0;  ///< 1q gates absorbed into a neighbour.
+    std::size_t diagOps = 0;     ///< ops lowered to a diagonal kernel.
+    std::size_t denseOps = 0;    ///< ops left on the generic path.
+};
+
+/** Options for compile(). */
+struct CompileOptions
+{
+    bool fuseSingleQubit = true; ///< merge adjacent 1q gates per qubit.
+};
+
+/** An executable, immutable kernel plan for a fixed register width. */
+class Plan
+{
+  public:
+    Plan(std::size_t num_qubits, std::vector<KernelOp> ops, PlanStats stats)
+        : nQubits_(num_qubits), ops_(std::move(ops)), stats_(stats)
+    {
+    }
+
+    std::size_t numQubits() const { return nQubits_; }
+    std::size_t dim() const { return std::size_t{1} << nQubits_; }
+    const std::vector<KernelOp> &ops() const { return ops_; }
+    const PlanStats &stats() const { return stats_; }
+
+  private:
+    std::size_t nQubits_;
+    std::vector<KernelOp> ops_;
+    PlanStats stats_;
+};
+
+/** Compiles a circuit into a kernel plan. */
+Plan compile(const circuit::Circuit &c, const CompileOptions &opts = {});
+
+/** Executes one lowered operation in place. */
+void executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits);
+
+/** Executes a plan in place on a 2^n statevector. */
+void execute(const Plan &plan, Complex *amps);
+
+/** Executes a plan on |0...0> and returns the resulting statevector. */
+linalg::CVector run(const Plan &plan);
+
+} // namespace sim
+} // namespace crisc
+
+#endif // CRISC_SIM_ENGINE_HH

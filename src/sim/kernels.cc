@@ -1,0 +1,214 @@
+#include "kernels.hh"
+
+#include <stdexcept>
+
+namespace crisc {
+namespace sim {
+
+namespace {
+
+/** Inserts a zero bit at position @p pos, shifting higher bits left. */
+inline std::size_t
+insertZeroBit(std::size_t x, std::size_t pos)
+{
+    const std::size_t low = x & ((std::size_t{1} << pos) - 1);
+    return ((x >> pos) << (pos + 1)) | low;
+}
+
+} // namespace
+
+bool
+exactlyDiagonal(const Matrix &op)
+{
+    for (std::size_t r = 0; r < op.rows(); ++r)
+        for (std::size_t c = 0; c < op.cols(); ++c)
+            if (r != c && op(r, c) != Complex{0.0, 0.0})
+                return false;
+    return true;
+}
+
+void
+apply1q(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+        const Complex m[4])
+{
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    const std::size_t stride = std::size_t{1} << (n_qubits - 1 - qubit);
+    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            const Complex a0 = amps[i];
+            const Complex a1 = amps[i + stride];
+            amps[i] = m00 * a0 + m01 * a1;
+            amps[i + stride] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+void
+apply1qDiag(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+            Complex d0, Complex d1)
+{
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    const std::size_t stride = std::size_t{1} << (n_qubits - 1 - qubit);
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+            amps[i] *= d0;
+            amps[i + stride] *= d1;
+        }
+    }
+}
+
+void
+applyPauli(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+           std::size_t pauli_index)
+{
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    const std::size_t stride = std::size_t{1} << (n_qubits - 1 - qubit);
+    switch (pauli_index) {
+      case 1: // X: swap the pair.
+        for (std::size_t base = 0; base < dim; base += 2 * stride)
+            for (std::size_t i = base; i < base + stride; ++i)
+                std::swap(amps[i], amps[i + stride]);
+        return;
+      case 2: // Y = [[0, -i], [i, 0]].
+        for (std::size_t base = 0; base < dim; base += 2 * stride) {
+            for (std::size_t i = base; i < base + stride; ++i) {
+                const Complex a0 = amps[i];
+                const Complex a1 = amps[i + stride];
+                amps[i] = Complex{a1.imag(), -a1.real()};          // -i a1
+                amps[i + stride] = Complex{-a0.imag(), a0.real()}; //  i a0
+            }
+        }
+        return;
+      case 3: // Z: negate the |1> half of each pair.
+        for (std::size_t base = 0; base < dim; base += 2 * stride)
+            for (std::size_t i = base; i < base + stride; ++i)
+                amps[i + stride] = -amps[i + stride];
+        return;
+      default:
+        throw std::invalid_argument("applyPauli: index must be 1..3");
+    }
+}
+
+void
+apply2q(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+        std::size_t q_lo, const Complex m[16])
+{
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    const std::size_t p_hi = n_qubits - 1 - q_hi; // weight-2 gate bit.
+    const std::size_t p_lo = n_qubits - 1 - q_lo; // weight-1 gate bit.
+    const std::size_t m_hi = std::size_t{1} << p_hi;
+    const std::size_t m_lo = std::size_t{1} << p_lo;
+    const std::size_t first = p_hi < p_lo ? p_hi : p_lo;
+    const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
+
+    for (std::size_t g = 0; g < dim >> 2; ++g) {
+        // Expand the group counter into the base index with both
+        // addressed bits zero; bases come out in ascending order.
+        const std::size_t base =
+            insertZeroBit(insertZeroBit(g, first), second);
+        const std::size_t i1 = base | m_lo;
+        const std::size_t i2 = base | m_hi;
+        const std::size_t i3 = base | m_hi | m_lo;
+        const Complex a0 = amps[base];
+        const Complex a1 = amps[i1];
+        const Complex a2 = amps[i2];
+        const Complex a3 = amps[i3];
+        amps[base] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+        amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+        amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+        amps[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+    }
+}
+
+void
+apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+            std::size_t q_lo, const Complex d[4])
+{
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    const std::size_t p_hi = n_qubits - 1 - q_hi;
+    const std::size_t p_lo = n_qubits - 1 - q_lo;
+    const std::size_t m_hi = std::size_t{1} << p_hi;
+    const std::size_t m_lo = std::size_t{1} << p_lo;
+    const std::size_t first = p_hi < p_lo ? p_hi : p_lo;
+    const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
+
+    for (std::size_t g = 0; g < dim >> 2; ++g) {
+        const std::size_t base =
+            insertZeroBit(insertZeroBit(g, first), second);
+        amps[base] *= d[0];
+        amps[base | m_lo] *= d[1];
+        amps[base | m_hi] *= d[2];
+        amps[base | m_hi | m_lo] *= d[3];
+    }
+}
+
+void
+applyDense(Complex *amps, std::size_t n_qubits, const Matrix &op,
+           const std::vector<std::size_t> &qubits)
+{
+    const std::size_t k = qubits.size();
+    const std::size_t gdim = std::size_t{1} << k;
+    const std::size_t dim = std::size_t{1} << n_qubits;
+
+    std::vector<std::size_t> pos(k);
+    for (std::size_t b = 0; b < k; ++b)
+        pos[b] = n_qubits - 1 - qubits[b];
+
+    std::size_t mask = 0;
+    for (std::size_t p : pos)
+        mask |= std::size_t{1} << p;
+
+    std::vector<Complex> in(gdim), out(gdim);
+    std::vector<std::size_t> idx(gdim);
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue; // visit each group once, at its all-zeros member
+        for (std::size_t g = 0; g < gdim; ++g) {
+            std::size_t address = base;
+            for (std::size_t b = 0; b < k; ++b)
+                if ((g >> (k - 1 - b)) & 1)
+                    address |= std::size_t{1} << pos[b];
+            idx[g] = address;
+            in[g] = amps[address];
+        }
+        for (std::size_t r = 0; r < gdim; ++r) {
+            Complex s = 0.0;
+            for (std::size_t c = 0; c < gdim; ++c)
+                s += op(r, c) * in[c];
+            out[r] = s;
+        }
+        for (std::size_t g = 0; g < gdim; ++g)
+            amps[idx[g]] = out[g];
+    }
+}
+
+void
+applyGate(Complex *amps, std::size_t n_qubits, const Matrix &op,
+          const std::vector<std::size_t> &qubits)
+{
+    switch (qubits.size()) {
+      case 1:
+        if (op(0, 1) == Complex{0.0, 0.0} && op(1, 0) == Complex{0.0, 0.0}) {
+            apply1qDiag(amps, n_qubits, qubits[0], op(0, 0), op(1, 1));
+        } else {
+            const Complex m[4] = {op(0, 0), op(0, 1), op(1, 0), op(1, 1)};
+            apply1q(amps, n_qubits, qubits[0], m);
+        }
+        return;
+      case 2:
+        if (exactlyDiagonal(op)) {
+            const Complex d[4] = {op(0, 0), op(1, 1), op(2, 2), op(3, 3)};
+            apply2qDiag(amps, n_qubits, qubits[0], qubits[1], d);
+        } else {
+            apply2q(amps, n_qubits, qubits[0], qubits[1], op.data());
+        }
+        return;
+      default:
+        applyDense(amps, n_qubits, op, qubits);
+        return;
+    }
+}
+
+} // namespace sim
+} // namespace crisc

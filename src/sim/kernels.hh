@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Specialized statevector gate kernels. These are the innermost loops of
+ * every simulation workload in the library (quantum volume, synthesis
+ * verification, the example applications), so they trade the generic
+ * k-qubit scatter/gather of the original simulator for dedicated 1- and
+ * 2-qubit routines with bit-twiddled strided indexing: amplitude pairs
+ * (1q) and quads (2q) are enumerated in ascending memory order with no
+ * per-group index buffers, and diagonal gates touch each amplitude once.
+ *
+ * Conventions match the rest of the library: qubit 0 is the most
+ * significant bit of a basis index, and a k-qubit operator's basis is
+ * |q[0] q[1] ... q[k-1]> with q[0] the most significant gate qubit.
+ * All matrices are row-major.
+ */
+
+#ifndef CRISC_SIM_KERNELS_HH
+#define CRISC_SIM_KERNELS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace crisc {
+namespace sim {
+
+using linalg::Complex;
+using linalg::Matrix;
+
+/** Applies a 2x2 gate m (row-major m[0..3]) to one qubit in place. */
+void apply1q(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+             const Complex m[4]);
+
+/** Diagonal 1-qubit fast path: multiplies by diag(d0, d1). */
+void apply1qDiag(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                 Complex d0, Complex d1);
+
+/**
+ * Applies the Pauli with index 1..3 = X, Y, Z to one qubit. Pure
+ * swap/phase traffic — no complex multiplies — which makes stochastic
+ * Pauli noise nearly free next to gate application.
+ */
+void applyPauli(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                std::size_t pauli_index);
+
+/**
+ * Applies a 4x4 gate m (row-major m[0..15]) to the ordered qubit pair
+ * (q_hi, q_lo), where q_hi is the most significant gate qubit.
+ */
+void apply2q(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+             std::size_t q_lo, const Complex m[16]);
+
+/** Diagonal 2-qubit fast path: multiplies by diag(d[0..3]). */
+void apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+                 std::size_t q_lo, const Complex d[4]);
+
+/**
+ * Generic dense k-qubit apply (the original simulator algorithm), kept
+ * as the fallback for k >= 3 gates, which only tests and the exact-
+ * evolution examples use.
+ */
+void applyDense(Complex *amps, std::size_t n_qubits, const Matrix &op,
+                const std::vector<std::size_t> &qubits);
+
+/**
+ * True when every off-diagonal entry of the square matrix is exactly
+ * zero — the criterion under which applyGate and the plan compiler
+ * lower a gate to a diagonal kernel.
+ */
+bool exactlyDiagonal(const Matrix &op);
+
+/**
+ * Dispatching entry point: routes k = 1 and k = 2 gates to the
+ * specialized kernels (detecting exactly-diagonal operators) and larger
+ * gates to applyDense. Callers must have validated sizes and indices.
+ */
+void applyGate(Complex *amps, std::size_t n_qubits, const Matrix &op,
+               const std::vector<std::size_t> &qubits);
+
+} // namespace sim
+} // namespace crisc
+
+#endif // CRISC_SIM_KERNELS_HH

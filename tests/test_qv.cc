@@ -120,13 +120,13 @@ TEST(Qv, NoiseLowersHeavyOutput)
     clean.width = 4;
     clean.czError = 0.0;
     clean.singleQubitError = 0.0;
-    clean.circuits = 12;
+    clean.circuits = 24;
     clean.trajectories = 1;
     clean.seed = 5;
     qv::QvConfig noisy = clean;
     noisy.czError = 0.03;
     noisy.singleQubitError = 0.001;
-    noisy.trajectories = 10;
+    noisy.trajectories = 24;
     const double hClean =
         qv::heavyOutputExperiment(clean).heavyOutputProportion;
     const double hNoisy =
