@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Transpiler benchmarks: single-circuit pipeline latency (with and
+ * without routing), Weyl-cache leverage on repeated gate classes, and
+ * batch transpilation throughput as a function of worker threads
+ * (items_per_second = circuits/sec). Run with
+ * --benchmark_format=json to seed the perf trajectory; CI uploads the
+ * result as an artifact.
+ */
+
+#include <cstdint>
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/circuit.hh"
+#include "linalg/random.hh"
+#include "qop/gates.hh"
+#include "route/route.hh"
+#include "transpile/transpile.hh"
+
+using namespace crisc;
+
+namespace {
+
+circuit::Circuit
+randomCircuit(linalg::Rng &rng, std::size_t n, std::size_t gates)
+{
+    circuit::Circuit c(n);
+    for (std::size_t i = 0; i < gates; ++i) {
+        const std::size_t a = rng.index(n);
+        std::size_t b = rng.index(n);
+        while (b == a)
+            b = rng.index(n);
+        c.add(linalg::haarUnitary(rng, 4), {a, b});
+    }
+    return c;
+}
+
+void
+BM_TranspileSingle(benchmark::State &state)
+{
+    linalg::Rng rng(1);
+    const circuit::Circuit c = randomCircuit(rng, 4, 16);
+    transpile::TranspileOptions opts;
+    opts.h = 0.1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transpile::transpile(c, opts));
+    state.SetItemsProcessed(static_cast<std::int64_t>(c.size()) *
+                            state.iterations());
+}
+BENCHMARK(BM_TranspileSingle);
+
+void
+BM_TranspileRouted(benchmark::State &state)
+{
+    linalg::Rng rng(2);
+    const circuit::Circuit c = randomCircuit(rng, 9, 16);
+    const route::CouplingMap grid = route::CouplingMap::grid(3, 3);
+    transpile::TranspileOptions opts;
+    opts.coupling = &grid;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transpile::transpile(c, opts));
+    state.SetItemsProcessed(static_cast<std::int64_t>(c.size()) *
+                            state.iterations());
+}
+BENCHMARK(BM_TranspileRouted);
+
+void
+BM_WeylCacheTrotter(benchmark::State &state)
+{
+    // Sixty identical bond gates: one synthesis, fifty-nine cache hits
+    // per pipeline run (each iteration builds a cold pipeline).
+    const linalg::Matrix bond = qop::canonicalGate(0.3, 0.2, 0.1);
+    circuit::Circuit c(6);
+    for (int s = 0; s < 12; ++s)
+        for (std::size_t q = 0; q + 1 < 6; ++q)
+            c.add(bond, {q, q + 1}, "bond");
+    transpile::TranspileOptions opts;
+    opts.fuseSingleQubit = false; // keep every bond a separate pulse
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transpile::transpile(c, opts));
+    state.SetItemsProcessed(static_cast<std::int64_t>(c.size()) *
+                            state.iterations());
+}
+BENCHMARK(BM_WeylCacheTrotter);
+
+void
+BM_TranspileBatch(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    linalg::Rng rng(3);
+    std::vector<circuit::Circuit> circuits;
+    for (int i = 0; i < 32; ++i)
+        circuits.push_back(randomCircuit(rng, 4, 12));
+    transpile::TranspileOptions opts;
+    opts.h = 0.1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            transpile::transpileBatch(circuits, opts, threads));
+    state.SetItemsProcessed(static_cast<std::int64_t>(circuits.size()) *
+                            state.iterations());
+}
+BENCHMARK(BM_TranspileBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -6,9 +6,9 @@
  * With CZ or SQiSW instruction sets a SWAP costs three native gates;
  * the AshN scheme executes SWAP as a *single* pulse of duration
  * 3pi/(4g) — and parasitic ZZ coupling makes it even faster. This
- * example routes a sequence of random long-range interactions on a
- * 3x3 grid and accounts the total two-qubit interaction time per
- * instruction set.
+ * example feeds a sequence of random long-range CNOTs on a 3x3 grid
+ * through the transpiler's Route pass and accounts the total two-qubit
+ * interaction time per instruction set.
  */
 
 #include <cstdio>
@@ -16,8 +16,11 @@
 
 #include "ashn/scheme.hh"
 #include "ashn/special.hh"
+#include "circuit/circuit.hh"
 #include "linalg/random.hh"
+#include "qop/gates.hh"
 #include "route/route.hh"
+#include "transpile/transpile.hh"
 #include "weyl/weyl.hh"
 
 using namespace crisc;
@@ -29,24 +32,34 @@ main()
     const route::CouplingMap grid = route::CouplingMap::grid(3, 3);
     linalg::Rng rng(7);
 
-    // Workload: 40 two-qubit interactions between random logical pairs.
-    std::vector<std::pair<std::size_t, std::size_t>> workload;
+    // Workload: 40 two-qubit interactions between random logical pairs,
+    // as a gate-list circuit (the payload gates are CNOT-class).
+    circuit::Circuit logical(n);
     for (int i = 0; i < 40; ++i) {
         const std::size_t a = rng.index(n);
         std::size_t b = rng.index(n);
         while (b == a)
             b = rng.index(n);
-        workload.emplace_back(a, b);
+        logical.add(qop::cnot(), {a, b}, "payload");
     }
 
-    // Route once; the SWAP count is instruction-set independent.
-    route::Layout layout(n);
+    // Route through the transpiler pipeline; the SWAP count is
+    // instruction-set independent.
+    transpile::TranspileOptions opts;
+    opts.coupling = &grid;
+    opts.decomposeWide = false;   // workload is already 2q-only
+    opts.fuseSingleQubit = false; // keep the payload gates visible
+    opts.lowerToPulses = false;   // account costs per set below
+    const transpile::TranspileResult routed = transpile::transpile(
+        logical, opts);
+
     std::size_t totalSwaps = 0;
-    for (const auto &[a, b] : workload)
-        totalSwaps += route::routePair(grid, layout, a, b).size();
+    for (const circuit::Gate &g : routed.circuit.gates())
+        totalSwaps += g.label == "swap";
     std::printf("workload: %zu interactions on a 3x3 grid -> %zu routing "
                 "SWAPs\n\n",
-                workload.size(), totalSwaps);
+                logical.size(), totalSwaps);
+    std::printf("%s\n", routed.report.summary().c_str());
 
     // Interaction-time accounting per instruction set. The payload gates
     // are CNOT-class (pi/2 optimal); only the SWAP cost differs.

@@ -1,5 +1,6 @@
 #include "circuit.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -38,6 +39,23 @@ Circuit::twoQubitCount() const
         if (g.qubits.size() >= 2)
             ++n;
     return n;
+}
+
+std::size_t
+Circuit::depth() const
+{
+    std::vector<std::size_t> level(nQubits_, 0);
+    std::size_t deepest = 0;
+    for (const Gate &g : gates_) {
+        std::size_t d = 0;
+        for (std::size_t q : g.qubits)
+            d = std::max(d, level[q]);
+        ++d;
+        for (std::size_t q : g.qubits)
+            level[q] = d;
+        deepest = std::max(deepest, d);
+    }
+    return deepest;
 }
 
 Matrix

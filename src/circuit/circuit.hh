@@ -51,6 +51,12 @@ class Circuit
     /** Number of gates acting on >= 2 qubits. */
     std::size_t twoQubitCount() const;
 
+    /**
+     * Circuit depth: length of the longest chain of gates sharing a
+     * qubit (gates on disjoint qubits count as parallel). 0 when empty.
+     */
+    std::size_t depth() const;
+
     /** Builds the full 2^n x 2^n unitary (for small n; tests/synthesis). */
     Matrix toUnitary() const;
 

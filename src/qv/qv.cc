@@ -12,6 +12,7 @@
 #include "route/route.hh"
 #include "sim/batch.hh"
 #include "sim/engine.hh"
+#include "transpile/passes.hh"
 
 namespace crisc {
 namespace qv {
@@ -87,6 +88,7 @@ heavyOutputExperiment(const QvConfig &config)
     const std::size_t d = config.width;
     const std::size_t dim = std::size_t{1} << d;
     const route::CouplingMap map = route::CouplingMap::gridFor(d);
+    const transpile::Route routePass;
     const WeylPoint swapPoint = ashn::swapPoint();
     sim::ThreadPool pool(static_cast<std::size_t>(
         config.threads < 0 ? 1 : config.threads));
@@ -142,39 +144,40 @@ heavyOutputExperiment(const QvConfig &config)
         for (std::size_t i = 0; i < dim; ++i)
             heavy[i] = probs[i] > median;
 
-        // --- Compile onto the grid with SWAP routing.
-        route::Layout layout(d);
+        // --- Route onto the grid through the shared transpiler pass
+        // (SWAP insertion + layout tracking), then attach the native
+        // cost model to each physical block.
+        transpile::PassContext routeCtx;
+        routeCtx.coupling = &map;
+        const circuit::Circuit routed = routePass.run(model, routeCtx);
+        const route::Layout &layout = *routeCtx.layout;
+
         std::vector<PhysicalOp> ops;
         const CompiledCost swapCost =
             compileCost(config.native, swapPoint, config.ashnCutoff);
-        for (const auto &layer : layers) {
-            for (const Block &blk : layer) {
-                const auto swaps =
-                    route::routePair(map, layout, blk.a, blk.b);
-                for (const auto &sw : swaps) {
-                    ops.push_back({sw.first, sw.second,
-                                   flatten4(qop::swapGate()),
-                                   swapCost.nativeGates,
-                                   config.czError *
-                                       (swapCost.totalTime /
-                                        swapCost.nativeGates) /
-                                       kCzTime});
-                    swapSum += 1.0;
-                }
-                const WeylPoint p = weyl::weylCoordinates(blk.u);
-                const CompiledCost cost =
-                    compileCost(config.native, p, config.ashnCutoff);
-                ops.push_back({layout.physicalOf(blk.a),
-                               layout.physicalOf(blk.b), flatten4(blk.u),
-                               cost.nativeGates,
+        for (const circuit::Gate &g : routed.gates()) {
+            if (g.label == "swap") {
+                ops.push_back({g.qubits[0], g.qubits[1],
+                               flatten4(g.op), swapCost.nativeGates,
                                config.czError *
-                                   (cost.totalTime / cost.nativeGates) /
+                                   (swapCost.totalTime /
+                                    swapCost.nativeGates) /
                                    kCzTime});
-                gateSum += cost.nativeGates + swaps.size() *
-                                                  swapCost.nativeGates;
-                timeSum += cost.totalTime + swaps.size() *
-                                                swapCost.totalTime;
+                swapSum += 1.0;
+                gateSum += swapCost.nativeGates;
+                timeSum += swapCost.totalTime;
+                continue;
             }
+            const WeylPoint p = weyl::weylCoordinates(g.op);
+            const CompiledCost cost =
+                compileCost(config.native, p, config.ashnCutoff);
+            ops.push_back({g.qubits[0], g.qubits[1], flatten4(g.op),
+                           cost.nativeGates,
+                           config.czError *
+                               (cost.totalTime / cost.nativeGates) /
+                               kCzTime});
+            gateSum += cost.nativeGates;
+            timeSum += cost.totalTime;
         }
 
         // Physical basis index -> logical basis index through the final

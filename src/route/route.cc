@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <string>
 
 namespace crisc {
 namespace route {
@@ -32,6 +33,9 @@ CouplingMap::grid(std::size_t rows, std::size_t cols)
 CouplingMap
 CouplingMap::gridFor(std::size_t n)
 {
+    if (n == 0)
+        throw std::invalid_argument(
+            "CouplingMap::gridFor: need at least one qubit");
     std::size_t rows = static_cast<std::size_t>(std::floor(std::sqrt(
         static_cast<double>(n))));
     rows = std::max<std::size_t>(rows, 1);
@@ -62,9 +66,42 @@ CouplingMap::full(std::size_t n)
     return m;
 }
 
+void
+CouplingMap::checkQubit(std::size_t q, const char *who) const
+{
+    if (q >= numQubits())
+        throw std::out_of_range(std::string("CouplingMap::") + who +
+                                ": qubit index out of range");
+}
+
+CouplingMap
+CouplingMap::fromEdges(
+    std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>> &edges)
+{
+    CouplingMap m;
+    m.adjacency_.resize(n);
+    for (const auto &[a, b] : edges) {
+        if (a >= n || b >= n)
+            throw std::invalid_argument(
+                "CouplingMap::fromEdges: edge endpoint out of range");
+        if (a == b)
+            throw std::invalid_argument(
+                "CouplingMap::fromEdges: self-loop edge");
+        if (!std::count(m.adjacency_[a].begin(), m.adjacency_[a].end(),
+                        b)) {
+            m.adjacency_[a].push_back(b);
+            m.adjacency_[b].push_back(a);
+        }
+    }
+    return m;
+}
+
 bool
 CouplingMap::adjacent(std::size_t a, std::size_t b) const
 {
+    checkQubit(a, "adjacent");
+    checkQubit(b, "adjacent");
     const auto &nb = adjacency_[a];
     return std::find(nb.begin(), nb.end(), b) != nb.end();
 }
@@ -72,6 +109,8 @@ CouplingMap::adjacent(std::size_t a, std::size_t b) const
 std::vector<std::size_t>
 CouplingMap::shortestPath(std::size_t a, std::size_t b) const
 {
+    checkQubit(a, "shortestPath");
+    checkQubit(b, "shortestPath");
     if (a == b)
         return {a};
     std::vector<std::size_t> prev(numQubits(), numQubits());
@@ -135,10 +174,13 @@ std::vector<std::pair<std::size_t, std::size_t>>
 routePair(const CouplingMap &map, Layout &layout, std::size_t logical_a,
           std::size_t logical_b)
 {
+    if (logical_a == logical_b)
+        throw std::invalid_argument(
+            "routePair: cannot route a qubit next to itself");
     std::vector<std::pair<std::size_t, std::size_t>> swaps;
     std::size_t pa = layout.physicalOf(logical_a);
     const std::size_t pb = layout.physicalOf(logical_b);
-    if (map.adjacent(pa, pb) || pa == pb)
+    if (map.adjacent(pa, pb))
         return swaps;
     const std::vector<std::size_t> path = map.shortestPath(pa, pb);
     // Walk a along the path until adjacent to b.

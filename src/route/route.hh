@@ -23,23 +23,45 @@ class CouplingMap
     /** Grid of rows x cols physical qubits, row-major indexing. */
     static CouplingMap grid(std::size_t rows, std::size_t cols);
 
-    /** Most-square grid holding at least n qubits, truncated to n. */
+    /**
+     * Most-square grid holding at least n qubits, truncated to n.
+     * @throws std::invalid_argument when n is 0.
+     */
     static CouplingMap gridFor(std::size_t n);
 
     /** Fully connected device (routing becomes free). */
     static CouplingMap full(std::size_t n);
 
+    /**
+     * Custom device from an explicit undirected edge list (duplicate
+     * edges are ignored). The graph may be disconnected; routing across
+     * components fails with an explicit error.
+     * @throws std::invalid_argument on a self-loop or out-of-range edge.
+     */
+    static CouplingMap
+    fromEdges(std::size_t n,
+              const std::vector<std::pair<std::size_t, std::size_t>> &edges);
+
     std::size_t numQubits() const { return adjacency_.size(); }
     const std::vector<std::size_t> &neighbours(std::size_t q) const
     {
-        return adjacency_[q];
+        return adjacency_.at(q);
     }
+
+    /** @throws std::out_of_range on an invalid qubit index. */
     bool adjacent(std::size_t a, std::size_t b) const;
 
-    /** BFS shortest path from a to b, inclusive of both endpoints. */
+    /**
+     * BFS shortest path from a to b, inclusive of both endpoints;
+     * {a} when the endpoints are identical.
+     * @throws std::out_of_range on an invalid qubit index.
+     * @throws std::runtime_error when no path exists (disconnected map).
+     */
     std::vector<std::size_t> shortestPath(std::size_t a, std::size_t b) const;
 
   private:
+    void checkQubit(std::size_t q, const char *who) const;
+
     std::vector<std::vector<std::size_t>> adjacency_;
 };
 
@@ -67,6 +89,9 @@ class Layout
  * that walk @p logical_a adjacent to @p logical_b along a shortest
  * path, updating @p layout. Returns the swaps in order; afterwards the
  * pair is adjacent.
+ *
+ * @throws std::invalid_argument when the endpoints are the same qubit.
+ * @throws std::out_of_range when an endpoint is outside the layout/map.
  */
 std::vector<std::pair<std::size_t, std::size_t>>
 routePair(const CouplingMap &map, Layout &layout, std::size_t logical_a,

@@ -1,70 +1,27 @@
 #include "compiler.hh"
 
-#include <cmath>
-#include <stdexcept>
-
-#include "qop/gates.hh"
-#include "qop/metrics.hh"
-#include "qsd.hh"
-#include "three_qubit.hh"
-#include "two_qubit.hh"
+#include "transpile/transpile.hh"
 
 namespace crisc {
 namespace synth {
 
-using circuit::Circuit;
-using circuit::Gate;
-using linalg::Matrix;
-
 CompiledProgram
-compileCircuit(const Circuit &logical, double h, double r)
+compileCircuit(const circuit::Circuit &logical, double h, double r)
 {
-    const std::size_t n = logical.numQubits();
+    // Canned pipeline: WideGateDecompose -> SingleQubitFuse ->
+    // AshNLower, the same passes the hand-rolled compiler used to run.
+    transpile::TranspileOptions opts;
+    opts.h = h;
+    opts.r = r;
+    transpile::TranspileResult res = transpile::transpile(logical, opts);
 
-    // Pass 1: expand >2-qubit gates through the generic QSD so the rest
-    // of the pipeline only sees one- and two-qubit gates.
-    Circuit flat(n);
-    for (const Gate &g : logical.gates()) {
-        if (g.qubits.size() <= 2) {
-            flat.add(g.op, g.qubits, g.label);
-            continue;
-        }
-        const Circuit sub = genericQsd(g.op);
-        for (const Gate &sg : sub.gates()) {
-            std::vector<std::size_t> mapped;
-            for (std::size_t q : sg.qubits)
-                mapped.push_back(g.qubits[q]);
-            flat.add(sg.op, std::move(mapped), sg.label);
-        }
-    }
-
-    // Pass 2: merge runs of single-qubit gates into their two-qubit
-    // neighbours where possible (reuses the peephole machinery, which
-    // preserves the unitary exactly).
-    const Circuit merged = mergeTwoQubitGates(flat);
-
-    // Pass 3: replace every two-qubit gate by its AshN pulse with local
-    // corrections.
     CompiledProgram out;
-    out.circuit = Circuit(n);
-    for (const Gate &g : merged.gates()) {
-        if (g.qubits.size() == 1) {
-            out.circuit.add(g.op, g.qubits, g.label);
-            ++out.singleQubitGates;
-            continue;
-        }
-        const AshnCompiled ac = compileToAshn(g.op, h, r);
-        const std::size_t a = g.qubits[0], b = g.qubits[1];
-        out.circuit.add(ac.r1, {a}, "pre");
-        out.circuit.add(ac.r2, {b}, "pre");
-        out.circuit.add(std::polar(1.0, ac.phase) * ashn::realize(ac.params),
-                        {a, b}, "pulse");
-        out.circuit.add(ac.l1, {a}, "post");
-        out.circuit.add(ac.l2, {b}, "post");
-        out.singleQubitGates += 4;
-        out.pulses.push_back({a, b, ac.params});
-        out.totalTwoQubitTime += ac.params.tau;
-    }
+    out.circuit = std::move(res.circuit);
+    out.pulses.reserve(res.context.pulses.size());
+    for (const transpile::PulseOp &p : res.context.pulses)
+        out.pulses.push_back({p.a, p.b, p.params});
+    out.totalTwoQubitTime = res.context.totalPulseTime;
+    out.singleQubitGates = res.context.singleQubitGates;
     return out;
 }
 

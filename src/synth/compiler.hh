@@ -6,6 +6,11 @@
  * the result is a pulse schedule with per-gate times — the "optimal
  * two-qubit instruction count" code-density story of the paper's
  * introduction, as an API.
+ *
+ * This is a thin façade kept for API compatibility: the work is done
+ * by the canned transpile:: pipeline (WideGateDecompose ->
+ * SingleQubitFuse -> AshNLower); use transpile.hh directly for custom
+ * pipelines, routing, per-pass metrics, or batched compilation.
  */
 
 #ifndef CRISC_SYNTH_COMPILER_HH

@@ -161,12 +161,11 @@ AshnCompiled::compose() const
 }
 
 AshnCompiled
-compileToAshn(const Matrix &u, double h, double r)
+compileToAshn(const Matrix &u, const ashn::GateParams &params,
+              const Matrix &realized)
 {
-    const WeylPoint p = weyl::weylCoordinates(u);
     AshnCompiled out;
-    out.params = ashn::synthesize(p, h, r);
-    const Matrix realized = ashn::realize(out.params);
+    out.params = params;
     const weyl::LocalCorrection lc = weyl::localCorrections(u, realized);
     out.l1 = lc.l1;
     out.l2 = lc.l2;
@@ -174,6 +173,14 @@ compileToAshn(const Matrix &u, double h, double r)
     out.r2 = lc.r2;
     out.phase = lc.phase;
     return out;
+}
+
+AshnCompiled
+compileToAshn(const Matrix &u, double h, double r)
+{
+    const WeylPoint p = weyl::weylCoordinates(u);
+    const ashn::GateParams params = ashn::synthesize(p, h, r);
+    return compileToAshn(u, params, ashn::realize(params));
 }
 
 } // namespace synth

@@ -55,6 +55,15 @@ struct AshnCompiled
 AshnCompiled compileToAshn(const Matrix &u, double h = 0.0, double r = 0.0);
 
 /**
+ * As above, but with pre-synthesized pulse parameters and their
+ * realized unitary (e.g. from the transpiler's memoization cache);
+ * only solves for the local corrections. @p realized must be
+ * ashn::realize(params) and locally equivalent to @p u.
+ */
+AshnCompiled compileToAshn(const Matrix &u, const ashn::GateParams &params,
+                           const Matrix &realized);
+
+/**
  * The canonical-interaction circuit used by decomposeCNOT: three CNOTs
  * realizing a gate locally equivalent to canonicalGate(x, y, z).
  */

@@ -1,0 +1,70 @@
+#include "pass_manager.hh"
+
+#include <chrono>
+#include <cstdio>
+
+namespace crisc {
+namespace transpile {
+
+std::string
+TranspileReport::summary() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%-22s %10s %8s %8s %12s %10s\n",
+                  "pass", "gates", "2q", "depth", "pulse time", "wall ms");
+    out += line;
+    for (const PassMetrics &m : passes) {
+        std::snprintf(line, sizeof line,
+                      "%-22s %4zu->%-4zu %3zu->%-3zu %3zu->%-3zu %12.4f "
+                      "%10.3f\n",
+                      m.pass.c_str(), m.gatesBefore, m.gatesAfter,
+                      m.twoQubitBefore, m.twoQubitAfter, m.depthBefore,
+                      m.depthAfter, m.pulseTimeAfter,
+                      1e3 * m.wallSeconds);
+        out += line;
+    }
+    std::snprintf(line, sizeof line, "total wall time: %.3f ms\n",
+                  1e3 * totalWallSeconds);
+    out += line;
+    return out;
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+TranspileResult
+PassManager::run(const circuit::Circuit &input, PassContext ctx) const
+{
+    using clock = std::chrono::steady_clock;
+
+    TranspileResult res;
+    circuit::Circuit current = input;
+    for (const auto &pass : passes_) {
+        PassMetrics m;
+        m.pass = pass->name();
+        m.gatesBefore = current.size();
+        m.twoQubitBefore = current.twoQubitCount();
+        m.depthBefore = current.depth();
+        const auto t0 = clock::now();
+        current = pass->run(current, ctx);
+        const auto t1 = clock::now();
+        m.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        m.gatesAfter = current.size();
+        m.twoQubitAfter = current.twoQubitCount();
+        m.depthAfter = current.depth();
+        m.pulseTimeAfter = ctx.totalPulseTime;
+        res.report.totalWallSeconds += m.wallSeconds;
+        res.report.passes.push_back(std::move(m));
+    }
+    res.circuit = std::move(current);
+    res.context = std::move(ctx);
+    return res;
+}
+
+} // namespace transpile
+} // namespace crisc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PassManager: an ordered pipeline of transpiler passes over the
+ * gate-list circuit IR. Running the pipeline threads one PassContext
+ * through every pass and records per-pass PassMetrics (gate/depth/2q
+ * deltas, accumulated pulse time, wall time) into a TranspileReport.
+ *
+ * A PassManager is immutable once built and safe to run from many
+ * threads concurrently (each run owns its context and circuit);
+ * transpile.hh's transpileBatch fans circuits out over one shared
+ * pipeline so stateful passes (the AshNLower Weyl cache) are shared.
+ */
+
+#ifndef CRISC_TRANSPILE_PASS_MANAGER_HH
+#define CRISC_TRANSPILE_PASS_MANAGER_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "transpile/pass.hh"
+
+namespace crisc {
+namespace transpile {
+
+/** Everything a pipeline run produces. */
+struct TranspileResult
+{
+    circuit::Circuit circuit;  ///< the rewritten circuit.
+    PassContext context;       ///< layout, pulse schedule, counters.
+    TranspileReport report;    ///< per-pass metrics.
+
+    TranspileResult() : circuit(0) {}
+};
+
+/** An ordered, immutable-after-build pipeline of passes. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+    PassManager(PassManager &&) = default;
+    PassManager &operator=(PassManager &&) = default;
+
+    /** Appends a pass; returns *this for chaining. */
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    /** Constructs and appends a pass of type P. */
+    template <typename P, typename... Args>
+    PassManager &emplace(Args &&...args)
+    {
+        return add(std::make_unique<P>(std::forward<Args>(args)...));
+    }
+
+    std::size_t size() const { return passes_.size(); }
+    const Pass &pass(std::size_t i) const { return *passes_.at(i); }
+
+    /**
+     * Runs every pass in order on @p input, starting from @p ctx.
+     * Thread-safe: concurrent runs only share the (internally
+     * synchronized) pass instances.
+     */
+    TranspileResult run(const circuit::Circuit &input,
+                        PassContext ctx = {}) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace transpile
+} // namespace crisc
+
+#endif // CRISC_TRANSPILE_PASS_MANAGER_HH

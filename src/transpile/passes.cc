@@ -1,0 +1,255 @@
+#include "passes.hh"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "qop/gates.hh"
+#include "qop/metrics.hh"
+#include "synth/qsd.hh"
+#include "synth/three_qubit.hh"
+#include "synth/two_qubit.hh"
+
+namespace crisc {
+namespace transpile {
+
+using circuit::Circuit;
+using circuit::Gate;
+using linalg::Matrix;
+
+Circuit
+WideGateDecompose::run(const Circuit &in, PassContext &) const
+{
+    Circuit out(in.numQubits());
+    for (const Gate &g : in.gates()) {
+        if (g.qubits.size() <= 2) {
+            out.add(g.op, g.qubits, g.label);
+            continue;
+        }
+        const Circuit sub = synth::genericQsd(g.op);
+        for (const Gate &sg : sub.gates()) {
+            std::vector<std::size_t> mapped;
+            for (std::size_t q : sg.qubits)
+                mapped.push_back(g.qubits[q]);
+            out.add(sg.op, std::move(mapped), sg.label);
+        }
+    }
+    return out;
+}
+
+Circuit
+SingleQubitFuse::run(const Circuit &in, PassContext &) const
+{
+    return synth::mergeTwoQubitGates(in);
+}
+
+namespace {
+
+/** True when the gate acts on any qubit of @p qubits. */
+bool
+touchesAny(const Gate &g, const std::vector<std::size_t> &qubits)
+{
+    for (std::size_t a : g.qubits)
+        for (std::size_t b : qubits)
+            if (a == b)
+                return true;
+    return false;
+}
+
+/** Is @p m the identity up to global phase? */
+bool
+isIdentity(const Matrix &m, double tol)
+{
+    return qop::equalUpToGlobalPhase(m, Matrix::identity(m.rows()), tol);
+}
+
+/**
+ * The product other * g for a pair on the same qubit set, with @p other
+ * re-expressed in g's qubit order when the pair is reversed. Returns
+ * false when the qubit sets differ.
+ */
+bool
+pairProduct(const Gate &g, const Gate &other, Matrix &product)
+{
+    if (g.qubits == other.qubits) {
+        product = other.op * g.op;
+        return true;
+    }
+    if (g.qubits.size() == 2 && other.qubits.size() == 2 &&
+        g.qubits[0] == other.qubits[1] && g.qubits[1] == other.qubits[0]) {
+        const Matrix &sw = qop::swapGate();
+        product = sw * other.op * sw * g.op;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Circuit
+PeepholeCancel::run(const Circuit &in, PassContext &) const
+{
+    std::vector<Gate> gates = in.gates();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // One forward sweep, resuming just before each removal (new
+        // cancellations appear next to it); the outer loop catches the
+        // rare earlier gate a removal unblocked.
+        for (std::size_t i = 0; i < gates.size();) {
+            if (isIdentity(gates[i].op, tol_)) {
+                gates.erase(gates.begin() + i);
+                changed = true;
+                i = i > 0 ? i - 1 : 0;
+                continue;
+            }
+            bool cancelled = false;
+            // Next gate touching i's qubits; gates in between commute.
+            for (std::size_t j = i + 1; j < gates.size(); ++j) {
+                if (!touchesAny(gates[j], gates[i].qubits))
+                    continue;
+                Matrix product;
+                if (pairProduct(gates[i], gates[j], product) &&
+                    isIdentity(product, tol_)) {
+                    gates.erase(gates.begin() + j);
+                    gates.erase(gates.begin() + i);
+                    cancelled = true;
+                }
+                break; // blocked either way
+            }
+            if (cancelled) {
+                changed = true;
+                i = i > 0 ? i - 1 : 0;
+            } else {
+                ++i;
+            }
+        }
+    }
+    Circuit out(in.numQubits());
+    for (Gate &g : gates)
+        out.add(std::move(g.op), std::move(g.qubits), std::move(g.label));
+    return out;
+}
+
+Circuit
+Route::run(const Circuit &in, PassContext &ctx) const
+{
+    if (ctx.coupling == nullptr)
+        throw std::invalid_argument("Route: PassContext.coupling is null");
+    const route::CouplingMap &map = *ctx.coupling;
+    if (map.numQubits() < in.numQubits())
+        throw std::invalid_argument(
+            "Route: device has fewer qubits than the circuit");
+
+    route::Layout layout(map.numQubits());
+    Circuit out(map.numQubits());
+    for (const Gate &g : in.gates()) {
+        if (g.qubits.size() > 2)
+            throw std::invalid_argument("Route: gate wider than two qubits "
+                                        "(run WideGateDecompose first)");
+        if (g.qubits.size() != 2) {
+            std::vector<std::size_t> mapped;
+            for (std::size_t q : g.qubits)
+                mapped.push_back(layout.physicalOf(q));
+            out.add(g.op, std::move(mapped), g.label);
+            continue;
+        }
+        const std::size_t a = g.qubits[0], b = g.qubits[1];
+        for (const auto &sw : route::routePair(map, layout, a, b))
+            out.add(qop::swapGate(), {sw.first, sw.second}, "swap");
+        out.add(g.op, {layout.physicalOf(a), layout.physicalOf(b)},
+                g.label);
+    }
+    ctx.layout = layout;
+    return out;
+}
+
+std::size_t
+WeylCache::KeyHash::operator()(const Key &k) const
+{
+    const std::hash<double> h;
+    std::size_t seed = h(k.x);
+    for (const double v : {k.y, k.z, k.h, k.r})
+        seed ^= h(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    return seed;
+}
+
+WeylCache::Entry
+WeylCache::lookup(const weyl::WeylPoint &p, double h, double r)
+{
+    // Normalize -0.0 so Key equality and hashing agree.
+    auto norm = [](double v) { return v == 0.0 ? 0.0 : v; };
+    const Key key{norm(p.x), norm(p.y), norm(p.z), norm(h), norm(r)};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Synthesize outside the lock; a raced duplicate computes the same
+    // deterministic entry and emplace keeps whichever landed first.
+    Entry e;
+    e.params = ashn::synthesize(p, h, r);
+    e.pulse = ashn::realize(e.params);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return map_.emplace(key, std::move(e)).first->second;
+}
+
+std::size_t
+WeylCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::size_t
+WeylCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+WeylCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+Circuit
+AshNLower::run(const Circuit &in, PassContext &ctx) const
+{
+    Circuit out(in.numQubits());
+    for (const Gate &g : in.gates()) {
+        if (g.qubits.size() > 2)
+            throw std::invalid_argument(
+                "AshNLower: gate wider than two qubits "
+                "(run WideGateDecompose first)");
+        if (g.qubits.size() != 2) {
+            out.add(g.op, g.qubits, g.label);
+            if (g.qubits.size() == 1)
+                ++ctx.singleQubitGates;
+            continue;
+        }
+        const weyl::WeylPoint p = weyl::weylCoordinates(g.op);
+        const WeylCache::Entry e = cache_.lookup(p, ctx.h, ctx.r);
+        const synth::AshnCompiled ac =
+            synth::compileToAshn(g.op, e.params, e.pulse);
+        const std::size_t a = g.qubits[0], b = g.qubits[1];
+        out.add(ac.r1, {a}, "pre");
+        out.add(ac.r2, {b}, "pre");
+        out.add(std::polar(1.0, ac.phase) * e.pulse, {a, b}, "pulse");
+        out.add(ac.l1, {a}, "post");
+        out.add(ac.l2, {b}, "post");
+        ctx.singleQubitGates += 4;
+        ctx.pulses.push_back({a, b, e.params});
+        ctx.totalPulseTime += e.params.tau;
+    }
+    return out;
+}
+
+} // namespace transpile
+} // namespace crisc

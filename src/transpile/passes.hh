@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The concrete passes of the transpiler:
+ *
+ *   WideGateDecompose — expands k >= 3 qubit gates through the generic
+ *       QSD so downstream passes only see 1q/2q gates.
+ *   SingleQubitFuse   — merges runs of single-qubit gates into their
+ *       two-qubit neighbours (synth::mergeTwoQubitGates).
+ *   PeepholeCancel    — drops identity gates and cancels adjacent
+ *       mutually-inverse pairs on the same qubits.
+ *   Route             — maps the circuit onto a device CouplingMap,
+ *       inserting SWAPs along shortest paths and recording the final
+ *       logical-to-physical layout in the context.
+ *   AshNLower         — replaces every two-qubit gate by one AshN pulse
+ *       plus single-qubit corrections, appending to the context's pulse
+ *       schedule. Weyl synthesis results are memoized in a shared,
+ *       thread-safe cache keyed by canonical chamber coordinates.
+ */
+
+#ifndef CRISC_TRANSPILE_PASSES_HH
+#define CRISC_TRANSPILE_PASSES_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "ashn/scheme.hh"
+#include "linalg/matrix.hh"
+#include "transpile/pass.hh"
+#include "weyl/weyl.hh"
+
+namespace crisc {
+namespace transpile {
+
+/** Expands gates on >= 3 qubits with synth::genericQsd. */
+class WideGateDecompose final : public Pass
+{
+  public:
+    const char *name() const override { return "wide-gate-decompose"; }
+    circuit::Circuit run(const circuit::Circuit &in,
+                         PassContext &ctx) const override;
+};
+
+/** Merges single-qubit runs into neighbouring two-qubit gates. */
+class SingleQubitFuse final : public Pass
+{
+  public:
+    const char *name() const override { return "single-qubit-fuse"; }
+    circuit::Circuit run(const circuit::Circuit &in,
+                         PassContext &ctx) const override;
+};
+
+/**
+ * Removes gates that are the identity up to global phase and cancels
+ * adjacent gate pairs (same qubit set, nothing touching those qubits in
+ * between) whose product is the identity up to global phase. Runs to a
+ * fixpoint.
+ */
+class PeepholeCancel final : public Pass
+{
+  public:
+    explicit PeepholeCancel(double tol = 1e-9) : tol_(tol) {}
+    const char *name() const override { return "peephole-cancel"; }
+    circuit::Circuit run(const circuit::Circuit &in,
+                         PassContext &ctx) const override;
+
+  private:
+    double tol_;
+};
+
+/**
+ * SWAP-routes the circuit onto ctx.coupling (required non-null, at
+ * least as many physical qubits as the circuit has logical ones).
+ * Two-qubit gates are preceded by the SWAPs (label "swap") that walk
+ * their endpoints adjacent; all gates are re-addressed to physical
+ * qubits. Requires gate width <= 2 (run WideGateDecompose first).
+ *
+ * @post ctx.layout holds the final assignment; the routed unitary
+ *       equals the logical one conjugated by that qubit permutation.
+ */
+class Route final : public Pass
+{
+  public:
+    const char *name() const override { return "route"; }
+    circuit::Circuit run(const circuit::Circuit &in,
+                         PassContext &ctx) const override;
+};
+
+/**
+ * Memoized Weyl-decomposition cache: canonical chamber coordinates
+ * (plus h, r) map to the synthesized pulse parameters and the realized
+ * 4x4 pulse unitary, so repeated gate classes (Trotter bonds, CNOTs,
+ * SWAPs) pay for ashn::synthesize + realize once. Thread-safe; shared
+ * across a batch via the pass instance.
+ *
+ * Keys use the exact coordinate bits — only bit-identical chamber
+ * points share an entry, so memoization never perturbs results.
+ */
+class WeylCache
+{
+  public:
+    struct Entry
+    {
+        ashn::GateParams params;
+        linalg::Matrix pulse;  ///< ashn::realize(params).
+    };
+
+    /** Returns the cached entry, synthesizing on miss. */
+    Entry lookup(const weyl::WeylPoint &p, double h, double r);
+
+    std::size_t size() const;
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+  private:
+    struct Key
+    {
+        double x, y, z, h, r;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Key, Entry, KeyHash> map_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/**
+ * Lowers every two-qubit gate to r1/r2 ("pre"), one AshN pulse
+ * ("pulse"), l1/l2 ("post"), appending the pulse parameters to
+ * ctx.pulses and its time to ctx.totalPulseTime; single-qubit gates
+ * pass through and are counted in ctx.singleQubitGates.
+ */
+class AshNLower final : public Pass
+{
+  public:
+    const char *name() const override { return "ashn-lower"; }
+    circuit::Circuit run(const circuit::Circuit &in,
+                         PassContext &ctx) const override;
+
+    const WeylCache &cache() const { return cache_; }
+
+  private:
+    mutable WeylCache cache_;
+};
+
+} // namespace transpile
+} // namespace crisc
+
+#endif // CRISC_TRANSPILE_PASSES_HH

@@ -1,0 +1,71 @@
+#include "transpile.hh"
+
+#include <exception>
+
+#include "sim/batch.hh"
+
+namespace crisc {
+namespace transpile {
+
+PassManager
+makePipeline(const TranspileOptions &opts)
+{
+    PassManager pm;
+    if (opts.decomposeWide)
+        pm.emplace<WideGateDecompose>();
+    if (opts.fuseSingleQubit)
+        pm.emplace<SingleQubitFuse>();
+    if (opts.peephole)
+        pm.emplace<PeepholeCancel>();
+    if (opts.coupling != nullptr)
+        pm.emplace<Route>();
+    if (opts.lowerToPulses)
+        pm.emplace<AshNLower>();
+    return pm;
+}
+
+namespace {
+
+PassContext
+contextFor(const TranspileOptions &opts)
+{
+    PassContext ctx;
+    ctx.h = opts.h;
+    ctx.r = opts.r;
+    ctx.coupling = opts.coupling;
+    return ctx;
+}
+
+} // namespace
+
+TranspileResult
+transpile(const circuit::Circuit &logical, const TranspileOptions &opts)
+{
+    return makePipeline(opts).run(logical, contextFor(opts));
+}
+
+std::vector<TranspileResult>
+transpileBatch(const std::vector<circuit::Circuit> &circuits,
+               const TranspileOptions &opts, int threads)
+{
+    const PassManager pipeline = makePipeline(opts);
+    std::vector<TranspileResult> results(circuits.size());
+    std::vector<std::exception_ptr> errors(circuits.size());
+
+    sim::ThreadPool pool(
+        static_cast<std::size_t>(threads < 0 ? 1 : threads));
+    pool.parallelFor(circuits.size(), [&](std::size_t i) {
+        try {
+            results[i] = pipeline.run(circuits[i], contextFor(opts));
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    });
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+    return results;
+}
+
+} // namespace transpile
+} // namespace crisc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Canned transpiler pipelines and the batch driver: one entry point
+ * from a logical circuit to a routed AshN pulse program. Every
+ * workload (synth::compileCircuit, the quantum-volume harness, the
+ * examples) assembles its pipeline here, so they all exercise the same
+ * pass implementations.
+ *
+ * transpileBatch fans independent circuits out over a sim::ThreadPool;
+ * results land in per-circuit slots, so output order is deterministic
+ * and independent of the thread count, and the AshNLower Weyl cache is
+ * shared across the whole batch.
+ */
+
+#ifndef CRISC_TRANSPILE_TRANSPILE_HH
+#define CRISC_TRANSPILE_TRANSPILE_HH
+
+#include "transpile/pass_manager.hh"
+#include "transpile/passes.hh"
+
+namespace crisc {
+namespace transpile {
+
+/** Which passes makePipeline assembles, and their targets. */
+struct TranspileOptions
+{
+    double h = 0.0;  ///< ZZ coupling ratio (AshN lowering).
+    double r = 0.0;  ///< AshN drive cutoff.
+    /** Route onto this device when non-null; no routing otherwise. */
+    const route::CouplingMap *coupling = nullptr;
+    bool decomposeWide = true;    ///< expand k >= 3 gates (QSD).
+    bool fuseSingleQubit = true;  ///< merge 1q runs into 2q neighbours.
+    bool peephole = false;        ///< cancel identities / inverse pairs.
+    bool lowerToPulses = true;    ///< emit the AshN pulse program.
+};
+
+/**
+ * Builds the standard pipeline for @p opts, in order:
+ * WideGateDecompose, SingleQubitFuse, PeepholeCancel, Route, AshNLower
+ * (each gated by its option). The default options reproduce the legacy
+ * synth::compileCircuit pipeline exactly.
+ */
+PassManager makePipeline(const TranspileOptions &opts);
+
+/** Builds the pipeline for @p opts and runs @p logical through it. */
+TranspileResult transpile(const circuit::Circuit &logical,
+                          const TranspileOptions &opts = {});
+
+/**
+ * Transpiles every circuit through ONE shared pipeline, fanning out
+ * over a thread pool (@p threads workers, 0 = hardware concurrency).
+ * Results are index-aligned with the inputs and identical to calling
+ * transpile() sequentially, for any thread count; a first thrown
+ * exception is rethrown on the calling thread.
+ */
+std::vector<TranspileResult>
+transpileBatch(const std::vector<circuit::Circuit> &circuits,
+               const TranspileOptions &opts = {}, int threads = 0);
+
+} // namespace transpile
+} // namespace crisc
+
+#endif // CRISC_TRANSPILE_TRANSPILE_HH
