@@ -3,16 +3,38 @@
  * Reproduces Figure 7: heavy output proportion versus circuit size d
  * for CZ, SQiSW, AshN(r=0) and AshN(r=1.1) instruction sets under
  * depolarizing noise with per-native-gate rate proportional to gate
- * time, on a 2D grid with SWAP routing. Sample counts are comparable
- * to the paper's 1350 circuit samples (documented in EXPERIMENTS.md).
+ * time, on a 2D grid with SWAP routing. Each variant constructs its
+ * device::Device once per width and hands it to the harness — the
+ * coupling map, native gate set, and noise model all come from the
+ * device. Sample counts are comparable to the paper's 1350 circuit
+ * samples (documented in EXPERIMENTS.md).
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "device/device.hh"
 #include "qv/qv.hh"
 
 using namespace crisc;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    device::NativeKind native;
+    double cutoff;
+};
+
+constexpr Variant kVariants[] = {
+    {"AshN r=0", device::NativeKind::AshN, 0.0},
+    {"AshN r=1.1", device::NativeKind::AshN, 1.1},
+    {"SQiSW", device::NativeKind::SQiSW, 0.0},
+    {"CZ", device::NativeKind::CZ, 0.0},
+};
+
+} // namespace
 
 int
 main()
@@ -30,26 +52,16 @@ main()
             std::printf(" %8zu", d);
         std::printf("\n");
 
-        struct Variant
-        {
-            const char *name;
-            qv::NativeSet native;
-            double cutoff;
-        };
-        const Variant variants[] = {
-            {"AshN r=0", qv::NativeSet::AshN, 0.0},
-            {"AshN r=1.1", qv::NativeSet::AshN, 1.1},
-            {"SQiSW", qv::NativeSet::SQiSW, 0.0},
-            {"CZ", qv::NativeSet::CZ, 0.0},
-        };
-        for (const Variant &v : variants) {
+        for (const Variant &v : kVariants) {
             std::printf("  %-14s", v.name);
             for (std::size_t d : widths) {
+                const device::Device dev = device::Device::grid2d(
+                    v.native, d,
+                    {.twoQubitError = eCz, .singleQubitError = 0.001,
+                     .h = 0.0, .r = v.cutoff});
                 qv::QvConfig cfg;
                 cfg.width = d;
-                cfg.native = v.native;
-                cfg.ashnCutoff = v.cutoff;
-                cfg.czError = eCz;
+                cfg.device = &dev;
                 cfg.circuits = circuits;
                 cfg.trajectories = trajectories;
                 cfg.seed = 1000 + d; // same circuits across schemes
@@ -67,29 +79,19 @@ main()
                 "===\n");
     std::printf("  %-14s %-14s %-18s %-10s\n", "scheme", "native gates",
                 "2q time (1/g)", "swaps");
-    struct CostVariant
-    {
-        const char *name;
-        qv::NativeSet native;
-        double cutoff;
-    };
-    const CostVariant costVariants[] = {
-        {"AshN r=0", qv::NativeSet::AshN, 0.0},
-        {"AshN r=1.1", qv::NativeSet::AshN, 1.1},
-        {"SQiSW", qv::NativeSet::SQiSW, 0.0},
-        {"CZ", qv::NativeSet::CZ, 0.0},
-    };
-    for (const auto &[name, native, cutoff] : costVariants) {
+    for (const Variant &v : kVariants) {
+        const device::Device dev = device::Device::grid2d(
+            v.native, 5,
+            {.twoQubitError = 0.012, .singleQubitError = 0.001,
+             .h = 0.0, .r = v.cutoff});
         qv::QvConfig cfg;
         cfg.width = 5;
-        cfg.native = native;
-        cfg.ashnCutoff = cutoff;
-        cfg.czError = 0.012;
+        cfg.device = &dev;
         cfg.circuits = 10;
         cfg.trajectories = 1;
         cfg.seed = 77;
         const qv::QvResult r = qv::heavyOutputExperiment(cfg);
-        std::printf("  %-14s %-14.1f %-18.2f %-10.1f\n", name,
+        std::printf("  %-14s %-14.1f %-18.2f %-10.1f\n", v.name,
                     r.avgNativeGatesPerCircuit, r.avgTwoQubitTimePerCircuit,
                     r.avgSwapsPerCircuit);
     }

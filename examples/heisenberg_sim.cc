@@ -17,6 +17,7 @@
 
 #include "ashn/scheme.hh"
 #include "circuit/circuit.hh"
+#include "device/device.hh"
 #include "linalg/expm.hh"
 #include "qop/gates.hh"
 #include "sim/engine.hh"
@@ -62,10 +63,15 @@ main()
     }
 
     // Compile the Trotter circuit to an AshN pulse program through the
-    // transpiler pipeline: every bond gate becomes exactly one pulse
-    // (the Weyl cache synthesizes the shared bond point only once).
+    // transpiler pipeline, targeting a linear-chain device (every bond
+    // is nearest-neighbour, so routing inserts no SWAPs and the Weyl
+    // cache synthesizes the shared bond point only once).
+    const device::Device chain = device::Device::withCoupling(
+        device::NativeKind::AshN, route::CouplingMap::line(n),
+        {.twoQubitError = 0.01, .singleQubitError = 0.001, .h = 0.0,
+         .r = 1.1});
     transpile::TranspileOptions opts;
-    opts.r = 1.1;
+    opts.device = &chain;
     const transpile::TranspileResult compiled =
         transpile::transpile(trotter, opts);
     std::printf("transpile report:\n%s\n",

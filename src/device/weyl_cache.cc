@@ -1,0 +1,63 @@
+#include "weyl_cache.hh"
+
+#include <functional>
+
+namespace crisc {
+namespace device {
+
+std::size_t
+WeylCache::KeyHash::operator()(const Key &k) const
+{
+    std::size_t seed = std::hash<double>{}(k.x);
+    for (const double v : {k.y, k.z, k.h, k.r})
+        seed = detail::hashCombine(seed, v);
+    return seed;
+}
+
+WeylCache::Entry
+WeylCache::lookup(const weyl::WeylPoint &p, double h, double r)
+{
+    const Key key{detail::normZero(p.x), detail::normZero(p.y),
+                  detail::normZero(p.z), detail::normZero(h),
+                  detail::normZero(r)};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Synthesize outside the lock; a raced duplicate computes the same
+    // deterministic entry and emplace keeps whichever landed first.
+    Entry e;
+    e.params = ashn::synthesize(p, h, r);
+    e.pulse = ashn::realize(e.params);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return map_.emplace(key, std::move(e)).first->second;
+}
+
+std::size_t
+WeylCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::size_t
+WeylCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+WeylCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+} // namespace device
+} // namespace crisc

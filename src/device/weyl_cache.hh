@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memoized Weyl-decomposition cache: canonical chamber coordinates
+ * (plus h, r) map to the synthesized AshN pulse parameters and the
+ * realized 4x4 pulse unitary, so repeated gate classes (Trotter bonds,
+ * CNOTs, SWAPs) pay for ashn::synthesize + realize once. Thread-safe;
+ * shared across a batch via the gate-set instance that owns it.
+ *
+ * Keys use the exact coordinate bits — only bit-identical chamber
+ * points share an entry, so memoization never perturbs results.
+ */
+
+#ifndef CRISC_DEVICE_WEYL_CACHE_HH
+#define CRISC_DEVICE_WEYL_CACHE_HH
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "ashn/scheme.hh"
+#include "linalg/matrix.hh"
+#include "weyl/weyl.hh"
+
+namespace crisc {
+namespace device {
+namespace detail {
+
+/** Normalizes -0.0 so cache-key equality and hashing agree. */
+inline double
+normZero(double v)
+{
+    return v == 0.0 ? 0.0 : v;
+}
+
+/** boost-style hash combine for double-tuple cache keys. */
+inline std::size_t
+hashCombine(std::size_t seed, double v)
+{
+    return seed ^ (std::hash<double>{}(v) + 0x9e3779b97f4a7c15ULL +
+                   (seed << 6) + (seed >> 2));
+}
+
+} // namespace detail
+
+class WeylCache
+{
+  public:
+    struct Entry
+    {
+        ashn::GateParams params;
+        linalg::Matrix pulse;  ///< ashn::realize(params).
+    };
+
+    /** Returns the cached entry, synthesizing on miss. */
+    Entry lookup(const weyl::WeylPoint &p, double h, double r);
+
+    std::size_t size() const;
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+  private:
+    struct Key
+    {
+        double x, y, z, h, r;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Key, Entry, KeyHash> map_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace device
+} // namespace crisc
+
+#endif // CRISC_DEVICE_WEYL_CACHE_HH

@@ -1,10 +1,12 @@
 #include "qv.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
-#include "ashn/scheme.hh"
 #include "ashn/special.hh"
 #include "circuit/circuit.hh"
 #include "circuit/noise.hh"
@@ -22,9 +24,6 @@ using linalg::Matrix;
 using weyl::WeylPoint;
 
 namespace {
-
-constexpr double kCzTime = M_PI / std::numbers::sqrt2;
-constexpr double kSqiswTime = M_PI / 4.0;
 
 /**
  * One physical two-qubit block, pre-lowered to a flat 4x4 kernel
@@ -48,46 +47,80 @@ flatten4(const Matrix &u)
     return m;
 }
 
+void
+validate(const QvConfig &config)
+{
+    auto fail = [](const std::string &msg) {
+        throw std::invalid_argument("QvConfig: " + msg);
+    };
+    if (config.width == 0)
+        fail("width must be at least 1");
+    if (config.width > 30)
+        fail("width must be at most 30 (statevector simulation limit), "
+             "got " +
+             std::to_string(config.width));
+    if (config.circuits <= 0)
+        fail("circuits must be positive, got " +
+             std::to_string(config.circuits));
+    if (config.trajectories <= 0)
+        fail("trajectories must be positive, got " +
+             std::to_string(config.trajectories));
+    if (!(config.czError >= 0.0 && config.czError <= 1.0))
+        fail("czError must lie in [0, 1], got " +
+             std::to_string(config.czError));
+    if (!(config.singleQubitError >= 0.0 && config.singleQubitError <= 1.0))
+        fail("singleQubitError must lie in [0, 1], got " +
+             std::to_string(config.singleQubitError));
+    if (config.device != nullptr &&
+        config.device->numQubits() < config.width)
+        fail("device has fewer qubits than the circuit width");
+}
+
 } // namespace
 
 const char *
 nativeSetName(NativeSet s)
 {
-    switch (s) {
-      case NativeSet::CZ:
-        return "CZ";
-      case NativeSet::SQiSW:
-        return "SQiSW";
-      case NativeSet::AshN:
-        return "AshN";
-    }
-    return "?";
+    return device::nativeKindName(s);
 }
 
 CompiledCost
 compileCost(NativeSet native, const WeylPoint &p, double ashn_cutoff)
 {
-    switch (native) {
-      case NativeSet::CZ:
-        return {3, 3.0 * kCzTime};
-      case NativeSet::SQiSW: {
-        // Huang et al. (ref. [30]): two applications cover the region
-        // x >= y + |z|; three are needed otherwise.
-        const int k = p.x >= p.y + std::abs(p.z) - 1e-9 ? 2 : 3;
-        return {k, k * kSqiswTime};
-      }
-      case NativeSet::AshN:
-        return {1, ashn::gateTime(p, 0.0, ashn_cutoff)};
-    }
-    throw std::invalid_argument("compileCost: unknown native set");
+    return device::makeNativeGateSet(native, 0.0, ashn_cutoff)->cost(p);
+}
+
+device::Device
+presetDevice(const QvConfig &config)
+{
+    return device::Device::grid2d(config.native, config.width,
+                                  {.twoQubitError = config.czError,
+                                   .singleQubitError =
+                                       config.singleQubitError,
+                                   .h = 0.0,
+                                   .r = config.ashnCutoff});
 }
 
 QvResult
 heavyOutputExperiment(const QvConfig &config)
 {
+    validate(config);
+
+    // One device drives everything below: routing (coupling map),
+    // compilation cost (native gate set), and the noise budget.
+    std::optional<device::Device> preset;
+    const device::Device *dev = config.device;
+    if (dev == nullptr) {
+        preset.emplace(presetDevice(config));
+        dev = &*preset;
+    }
+    const route::CouplingMap &map = dev->coupling();
+    const device::NativeGateSet &native = dev->gateSet();
+    const device::NoiseModel &noise = dev->noise();
+
     const std::size_t d = config.width;
     const std::size_t dim = std::size_t{1} << d;
-    const route::CouplingMap map = route::CouplingMap::gridFor(d);
+    const std::size_t n = map.numQubits();
     const transpile::Route routePass;
     const WeylPoint swapPoint = ashn::swapPoint();
     sim::ThreadPool pool(static_cast<std::size_t>(
@@ -144,50 +177,77 @@ heavyOutputExperiment(const QvConfig &config)
         for (std::size_t i = 0; i < dim; ++i)
             heavy[i] = probs[i] > median;
 
-        // --- Route onto the grid through the shared transpiler pass
-        // (SWAP insertion + layout tracking), then attach the native
-        // cost model to each physical block.
+        // --- Route onto the device through the shared transpiler pass
+        // (SWAP insertion + layout tracking), then attach the device's
+        // native cost model to each physical block.
         transpile::PassContext routeCtx;
         routeCtx.coupling = &map;
         const circuit::Circuit routed = routePass.run(model, routeCtx);
         const route::Layout &layout = *routeCtx.layout;
 
         std::vector<PhysicalOp> ops;
-        const CompiledCost swapCost =
-            compileCost(config.native, swapPoint, config.ashnCutoff);
+        const CompiledCost swapCost = native.cost(swapPoint);
         for (const circuit::Gate &g : routed.gates()) {
             if (g.label == "swap") {
                 ops.push_back({g.qubits[0], g.qubits[1],
                                flatten4(g.op), swapCost.nativeGates,
-                               config.czError *
-                                   (swapCost.totalTime /
-                                    swapCost.nativeGates) /
-                                   kCzTime});
+                               noise.twoQubitRateFor(swapCost.totalTime /
+                                                     swapCost.nativeGates)});
                 swapSum += 1.0;
                 gateSum += swapCost.nativeGates;
                 timeSum += swapCost.totalTime;
                 continue;
             }
             const WeylPoint p = weyl::weylCoordinates(g.op);
-            const CompiledCost cost =
-                compileCost(config.native, p, config.ashnCutoff);
+            const CompiledCost cost = native.cost(p);
             ops.push_back({g.qubits[0], g.qubits[1], flatten4(g.op),
                            cost.nativeGates,
-                           config.czError *
-                               (cost.totalTime / cost.nativeGates) /
-                               kCzTime});
+                           noise.twoQubitRateFor(cost.totalTime /
+                                                 cost.nativeGates)});
             gateSum += cost.nativeGates;
             timeSum += cost.totalTime;
         }
 
-        // Physical basis index -> logical basis index through the final
-        // layout, shared read-only by every trajectory.
-        std::vector<std::size_t> logicalIndex(dim);
-        for (std::size_t phys = 0; phys < dim; ++phys) {
+        // Routing may walk logical qubits through any physical qubit,
+        // but trajectory cost should scale with the circuit, not the
+        // device: compact the routed ops onto the physical qubits they
+        // touch (plus every logical home). The mapping is the identity
+        // when the device is exactly as wide as the circuit, so the
+        // canned presets are untouched bit for bit.
+        std::vector<std::size_t> compact(n, 0);
+        std::size_t nc = 0;
+        {
+            std::vector<bool> used(n, false);
+            for (const PhysicalOp &op : ops)
+                used[op.a] = used[op.b] = true;
+            for (std::size_t l = 0; l < d; ++l)
+                used[layout.physicalOf(l)] = true;
+            for (std::size_t pq = 0; pq < n; ++pq)
+                if (used[pq])
+                    compact[pq] = nc++;
+        }
+        if (nc > 30)
+            throw std::invalid_argument(
+                "qv: routed circuit touches " + std::to_string(nc) +
+                " physical qubits; statevector simulation supports at "
+                "most 30");
+        for (PhysicalOp &op : ops) {
+            op.a = compact[op.a];
+            op.b = compact[op.b];
+        }
+        const std::size_t simDim = std::size_t{1} << nc;
+
+        // Compacted basis index -> logical basis index through the
+        // final layout (spare qubits marginalize out), shared
+        // read-only by every trajectory. Generalizes
+        // route::Layout::logicalBasisIndex to d logical of nc
+        // simulated qubits.
+        std::vector<std::size_t> logicalIndex(simDim);
+        for (std::size_t phys = 0; phys < simDim; ++phys) {
             std::size_t logical = 0;
             for (std::size_t l = 0; l < d; ++l) {
-                const std::size_t pq = layout.physicalOf(l);
-                const std::size_t bit = (phys >> (d - 1 - pq)) & 1;
+                const std::size_t pq = compact[layout.physicalOf(l)];
+                const std::size_t bit = (phys >> (nc - 1 - pq)) & 1;
                 logical |= bit << (d - 1 - l);
             }
             logicalIndex[phys] = logical;
@@ -197,27 +257,26 @@ heavyOutputExperiment(const QvConfig &config)
         // trajectory owns a statevector and an RNG stream derived from
         // (seed, circuit, trajectory).
         heavySum += sim::sumTrajectories(
-            pool,
-            static_cast<std::size_t>(std::max(config.trajectories, 0)),
+            pool, static_cast<std::size_t>(config.trajectories),
             sim::streamSeed(config.seed, circuitStream + 1),
             [&](std::size_t, linalg::Rng &rng) {
-                linalg::CVector amps(dim, Complex{0.0, 0.0});
+                linalg::CVector amps(simDim, Complex{0.0, 0.0});
                 amps[0] = 1.0;
                 for (const PhysicalOp &op : ops) {
-                    sim::apply2q(amps.data(), d, op.a, op.b, op.m.data());
+                    sim::apply2q(amps.data(), nc, op.a, op.b, op.m.data());
                     for (int g = 0; g < op.natives; ++g) {
-                        circuit::applyDepolarizing(amps.data(), d, op.a,
+                        circuit::applyDepolarizing(amps.data(), nc, op.a,
                                                    op.b, op.p2, rng);
                         circuit::applyDepolarizing(
-                            amps.data(), d, op.a,
-                            config.singleQubitError, rng);
+                            amps.data(), nc, op.a,
+                            noise.singleQubitError, rng);
                         circuit::applyDepolarizing(
-                            amps.data(), d, op.b,
-                            config.singleQubitError, rng);
+                            amps.data(), nc, op.b,
+                            noise.singleQubitError, rng);
                     }
                 }
                 double hop = 0.0;
-                for (std::size_t phys = 0; phys < dim; ++phys)
+                for (std::size_t phys = 0; phys < simDim; ++phys)
                     if (heavy[logicalIndex[phys]])
                         hop += std::norm(amps[phys]);
                 return hop;

@@ -1,10 +1,18 @@
 /**
  * @file
  * Quantum-volume harness (paper Sec. 6.3, Figure 7): square random
- * model circuits on a 2D-grid device, compiled to one of three native
- * instruction sets, with per-native-gate depolarizing noise whose rate
- * is proportional to the gate time. The figure of merit is the heavy
+ * model circuits compiled to a target device::Device — its coupling
+ * map drives SWAP routing, its native gate set prices every two-qubit
+ * block, and its noise model sets the per-native-gate depolarizing
+ * rate (proportional to gate time). The figure of merit is the heavy
  * output proportion (Cross et al.).
+ *
+ * The harness holds the paper's error model: each routed SU(4) block
+ * is applied ideally, followed by the depolarizing budget of the
+ * native gates the device's cost model charges for it. The actual
+ * native decomposition (transpile::NativeLower) is unitary-equivalent
+ * — tests/test_device.cc proves it per gate set — so the ideal-block
+ * application changes nothing but the floating-point path.
  */
 
 #ifndef CRISC_QV_QV_HH
@@ -12,6 +20,7 @@
 
 #include <cstddef>
 
+#include "device/device.hh"
 #include "linalg/random.hh"
 #include "weyl/weyl.hh"
 
@@ -19,12 +28,7 @@ namespace crisc {
 namespace qv {
 
 /** Native two-qubit instruction set used for compilation. */
-enum class NativeSet
-{
-    CZ,     ///< flux-tuned CZ: 3 per SU(4), gate time pi/sqrt(2).
-    SQiSW,  ///< flux-tuned sqrt(iSWAP): 2 or 3 per SU(4), time pi/4 each.
-    AshN,   ///< AshN pulse: 1 per SU(4), time from the scheme.
-};
+using NativeSet = device::NativeKind;
 
 /** Experiment configuration. */
 struct QvConfig
@@ -44,6 +48,12 @@ struct QvConfig
      * the reduction order is fixed.
      */
     int threads = 0;
+    /**
+     * Run against this device instead of the canned grid preset built
+     * from (width, native, ashnCutoff, czError, singleQubitError).
+     * Must have at least `width` qubits.
+     */
+    const device::Device *device = nullptr;
 };
 
 /** Aggregated result for one configuration. */
@@ -55,18 +65,23 @@ struct QvResult
     double avgSwapsPerCircuit = 0.0;
 };
 
-/** Runs the heavy-output experiment for one configuration. */
+/**
+ * Runs the heavy-output experiment for one configuration.
+ * @throws std::invalid_argument on a zero width, non-positive circuit
+ *         or trajectory counts, out-of-range error rates, or a device
+ *         smaller than the circuit.
+ */
 QvResult heavyOutputExperiment(const QvConfig &config);
 
+/** The grid-preset device heavyOutputExperiment builds for @p config. */
+device::Device presetDevice(const QvConfig &config);
+
 /**
- * Native gate count and total two-qubit interaction time (units of 1/g)
- * to compile a gate with the given canonical Weyl point.
+ * Native gate count and total two-qubit interaction time (units of
+ * 1/g) to compile a gate with the given canonical Weyl point — the
+ * cost model of the corresponding built-in device::NativeGateSet.
  */
-struct CompiledCost
-{
-    int nativeGates;
-    double totalTime;
-};
+using CompiledCost = device::GateCost;
 CompiledCost compileCost(NativeSet native, const weyl::WeylPoint &p,
                          double ashn_cutoff);
 

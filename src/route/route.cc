@@ -66,6 +66,79 @@ CouplingMap::full(std::size_t n)
     return m;
 }
 
+CouplingMap
+CouplingMap::line(std::size_t n)
+{
+    if (n == 0)
+        throw std::invalid_argument(
+            "CouplingMap::line: need at least one qubit");
+    return grid(1, n);
+}
+
+CouplingMap
+CouplingMap::ring(std::size_t n)
+{
+    CouplingMap m = line(n);
+    if (n >= 3) {
+        m.adjacency_[n - 1].push_back(0);
+        m.adjacency_[0].push_back(n - 1);
+    }
+    return m;
+}
+
+CouplingMap
+CouplingMap::heavyHex(std::size_t distance)
+{
+    const std::size_t d = distance;
+    if (d == 0 || d % 2 == 0)
+        throw std::invalid_argument(
+            "CouplingMap::heavyHex: distance must be odd and positive");
+    const std::size_t nData = d * d;
+    const std::size_t nFlag = d * (d - 1);
+    const std::size_t nSyn = d * (d - 1) / 2;
+    const std::size_t nBoundary = (d - 1) / 2;
+
+    CouplingMap m;
+    m.adjacency_.resize(nData + nFlag + nSyn + nBoundary);
+    auto data = [&](std::size_t row, std::size_t col) {
+        return row * d + col;
+    };
+    auto flag = [&](std::size_t row, std::size_t col) {
+        return nData + row * (d - 1) + col;
+    };
+    auto link = [&](std::size_t a, std::size_t b) {
+        m.adjacency_[a].push_back(b);
+        m.adjacency_[b].push_back(a);
+    };
+
+    // Flags subdivide every horizontal data edge.
+    for (std::size_t row = 0; row < d; ++row) {
+        for (std::size_t col = 0; col + 1 < d; ++col) {
+            link(data(row, col), flag(row, col));
+            link(flag(row, col), data(row, col + 1));
+        }
+    }
+    // Syndromes subdivide the vertical edges with gap + column even —
+    // removing the odd-parity verticals is what turns the square grid
+    // into hexagons.
+    std::size_t next = nData + nFlag;
+    for (std::size_t gap = 0; gap + 1 < d; ++gap) {
+        for (std::size_t col = 0; col < d; ++col) {
+            if ((gap + col) % 2 != 0)
+                continue;
+            link(data(gap, col), next);
+            link(next, data(gap + 1, col));
+            ++next;
+        }
+    }
+    // Boundary syndromes hang off the odd columns of the top row.
+    for (std::size_t col = 1; col < d; col += 2) {
+        link(data(0, col), next);
+        ++next;
+    }
+    return m;
+}
+
 void
 CouplingMap::checkQubit(std::size_t q, const char *who) const
 {
@@ -168,6 +241,26 @@ Layout::swapPhysical(std::size_t a, std::size_t b)
     std::swap(toLogical_[a], toLogical_[b]);
     toPhysical_[la] = b;
     toPhysical_[lb] = a;
+}
+
+std::size_t
+Layout::logicalBasisIndex(std::size_t phys_index,
+                          std::size_t num_qubits) const
+{
+    std::size_t logical = 0;
+    for (std::size_t l = 0; l < num_qubits; ++l) {
+        const std::size_t pq = physicalOf(l);
+        if (pq >= num_qubits)
+            throw std::out_of_range(
+                "Layout::logicalBasisIndex: logical qubit " +
+                std::to_string(l) + " sits on physical qubit " +
+                std::to_string(pq) + ", outside the " +
+                std::to_string(num_qubits) + "-qubit register");
+        const std::size_t bit =
+            (phys_index >> (num_qubits - 1 - pq)) & 1;
+        logical |= bit << (num_qubits - 1 - l);
+    }
+    return logical;
 }
 
 std::vector<std::pair<std::size_t, std::size_t>>

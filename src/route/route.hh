@@ -33,6 +33,34 @@ class CouplingMap
     static CouplingMap full(std::size_t n);
 
     /**
+     * Linear chain 0 - 1 - ... - (n-1).
+     * @throws std::invalid_argument when n is 0.
+     */
+    static CouplingMap line(std::size_t n);
+
+    /**
+     * Ring: a line closed by the edge (n-1, 0). A ring of 1 has no
+     * edges; a ring of 2 is a single edge.
+     * @throws std::invalid_argument when n is 0.
+     */
+    static CouplingMap ring(std::size_t n);
+
+    /**
+     * Heavy-hexagon lattice for code distance d (Chamberland et al.):
+     * a d x d data-qubit grid with a flag qubit on every horizontal
+     * edge, a syndrome qubit on every vertical edge (row gap g, column
+     * c) with g + c even, and (d-1)/2 boundary syndrome qubits hanging
+     * off the odd columns of the top row. Total qubits
+     * (5 d^2 - 2 d - 1) / 2, maximum degree 3, connected.
+     *
+     * Indexing: data row-major first, then flags row-major, then
+     * syndromes (gap-major), then the boundary syndromes.
+     *
+     * @throws std::invalid_argument unless d is an odd positive number.
+     */
+    static CouplingMap heavyHex(std::size_t distance);
+
+    /**
      * Custom device from an explicit undirected edge list (duplicate
      * edges are ignored). The graph may be disconnected; routing across
      * components fails with an explicit error.
@@ -78,6 +106,21 @@ class Layout
 
     /** Records a SWAP of two physical qubits. */
     void swapPhysical(std::size_t a, std::size_t b);
+
+    /**
+     * Basis-state view of the layout: the logical computational-basis
+     * index corresponding to physical basis index @p phys_index on an
+     * @p num_qubits register — logical qubit l's bit is read from
+     * physical position physicalOf(l), MSB-first on both sides — the
+     * bit convention routed-vs-logical comparisons permute through.
+     * (The QV harness's marginal over a wider device generalizes this
+     * with compacted bit positions; see qv.cc.)
+     *
+     * @throws std::out_of_range when any of the first @p num_qubits
+     *         logical qubits sits outside the register.
+     */
+    std::size_t logicalBasisIndex(std::size_t phys_index,
+                                  std::size_t num_qubits) const;
 
   private:
     std::vector<std::size_t> toPhysical_;

@@ -9,7 +9,7 @@ CompiledProgram
 compileCircuit(const circuit::Circuit &logical, double h, double r)
 {
     // Canned pipeline: WideGateDecompose -> SingleQubitFuse ->
-    // AshNLower, the same passes the hand-rolled compiler used to run.
+    // PeepholeCancel -> NativeLower on an ideal AshN target.
     transpile::TranspileOptions opts;
     opts.h = h;
     opts.r = r;

@@ -9,8 +9,9 @@
  *
  * This is a thin façade kept for API compatibility: the work is done
  * by the canned transpile:: pipeline (WideGateDecompose ->
- * SingleQubitFuse -> AshNLower); use transpile.hh directly for custom
- * pipelines, routing, per-pass metrics, or batched compilation.
+ * SingleQubitFuse -> PeepholeCancel -> NativeLower on an AshN target);
+ * use transpile.hh directly for custom pipelines, other native gate
+ * sets, routing, per-pass metrics, or batched compilation.
  */
 
 #ifndef CRISC_SYNTH_COMPILER_HH

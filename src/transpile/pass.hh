@@ -35,25 +35,29 @@ struct PulseOp
 };
 
 /**
- * Shared state threaded through a pipeline run. Inputs (target
- * parameters, device coupling) are set by the caller; outputs (routing
- * layout, pulse schedule) are filled in by the passes that produce
- * them.
+ * Shared state threaded through a pipeline run. Inputs (device
+ * coupling) are set by the caller — usually from a device::Device via
+ * TranspileOptions; outputs (routing layout, pulse schedule) are
+ * filled in by the passes that produce them. Gate-set parameters (ZZ
+ * ratio h, drive cutoff r) live in the NativeGateSet held by the
+ * NativeLower pass, not here.
  */
 struct PassContext
 {
     // --- inputs
-    double h = 0.0;  ///< ZZ coupling ratio of every pair (uniform device).
-    double r = 0.0;  ///< AshN drive cutoff.
     /** Device connectivity; required by Route, ignored elsewhere. */
     const route::CouplingMap *coupling = nullptr;
 
     // --- outputs
     /** Final logical-to-physical assignment, set by Route. */
     std::optional<route::Layout> layout;
-    /** Pulse schedule, appended to by AshNLower (one per 2q gate). */
+    /** Pulse schedule, appended to by NativeLower for pulse-based sets
+     * (one per 2q gate on an AshN target). */
     std::vector<PulseOp> pulses;
-    double totalPulseTime = 0.0;       ///< sum of pulse times (1/g).
+    /** Total two-qubit interaction time of the lowered program (1/g):
+     * pulse times on AshN targets, native-gate times otherwise. */
+    double totalPulseTime = 0.0;
+    std::size_t nativeGates = 0;       ///< native 2q gates emitted.
     std::size_t singleQubitGates = 0;  ///< 1q gates in the lowered output.
 };
 
@@ -82,7 +86,7 @@ struct PassMetrics
     std::size_t gatesBefore = 0, gatesAfter = 0;
     std::size_t twoQubitBefore = 0, twoQubitAfter = 0;
     std::size_t depthBefore = 0, depthAfter = 0;
-    /** ctx.totalPulseTime after the pass (0 until AshNLower runs). */
+    /** ctx.totalPulseTime after the pass (0 until NativeLower runs). */
     double pulseTimeAfter = 0.0;
     double wallSeconds = 0.0;
 };

@@ -8,7 +8,8 @@
  * A PassManager is immutable once built and safe to run from many
  * threads concurrently (each run owns its context and circuit);
  * transpile.hh's transpileBatch fans circuits out over one shared
- * pipeline so stateful passes (the AshNLower Weyl cache) are shared.
+ * pipeline so stateful passes (the NativeLower gate set's Weyl cache)
+ * are shared.
  */
 
 #ifndef CRISC_TRANSPILE_PASS_MANAGER_HH

@@ -1,14 +1,12 @@
 #include "passes.hh"
 
-#include <cmath>
-#include <functional>
 #include <stdexcept>
+#include <utility>
 
 #include "qop/gates.hh"
 #include "qop/metrics.hh"
 #include "synth/qsd.hh"
 #include "synth/three_qubit.hh"
-#include "synth/two_qubit.hh"
 
 namespace crisc {
 namespace transpile {
@@ -164,69 +162,22 @@ Route::run(const Circuit &in, PassContext &ctx) const
     return out;
 }
 
-std::size_t
-WeylCache::KeyHash::operator()(const Key &k) const
+NativeLower::NativeLower(
+    std::shared_ptr<const device::NativeGateSet> gate_set)
+    : gateSet_(gate_set != nullptr
+                   ? std::move(gate_set)
+                   : device::makeNativeGateSet(device::NativeKind::AshN))
 {
-    const std::hash<double> h;
-    std::size_t seed = h(k.x);
-    for (const double v : {k.y, k.z, k.h, k.r})
-        seed ^= h(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-    return seed;
-}
-
-WeylCache::Entry
-WeylCache::lookup(const weyl::WeylPoint &p, double h, double r)
-{
-    // Normalize -0.0 so Key equality and hashing agree.
-    auto norm = [](double v) { return v == 0.0 ? 0.0 : v; };
-    const Key key{norm(p.x), norm(p.y), norm(p.z), norm(h), norm(r)};
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = map_.find(key);
-        if (it != map_.end()) {
-            ++hits_;
-            return it->second;
-        }
-    }
-    // Synthesize outside the lock; a raced duplicate computes the same
-    // deterministic entry and emplace keeps whichever landed first.
-    Entry e;
-    e.params = ashn::synthesize(p, h, r);
-    e.pulse = ashn::realize(e.params);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++misses_;
-    return map_.emplace(key, std::move(e)).first->second;
-}
-
-std::size_t
-WeylCache::size() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return map_.size();
-}
-
-std::size_t
-WeylCache::hits() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
-}
-
-std::size_t
-WeylCache::misses() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
 }
 
 Circuit
-AshNLower::run(const Circuit &in, PassContext &ctx) const
+NativeLower::run(const Circuit &in, PassContext &ctx) const
 {
     Circuit out(in.numQubits());
     for (const Gate &g : in.gates()) {
         if (g.qubits.size() > 2)
             throw std::invalid_argument(
-                "AshNLower: gate wider than two qubits "
+                "NativeLower: gate wider than two qubits "
                 "(run WideGateDecompose first)");
         if (g.qubits.size() != 2) {
             out.add(g.op, g.qubits, g.label);
@@ -234,19 +185,20 @@ AshNLower::run(const Circuit &in, PassContext &ctx) const
                 ++ctx.singleQubitGates;
             continue;
         }
-        const weyl::WeylPoint p = weyl::weylCoordinates(g.op);
-        const WeylCache::Entry e = cache_.lookup(p, ctx.h, ctx.r);
-        const synth::AshnCompiled ac =
-            synth::compileToAshn(g.op, e.params, e.pulse);
+        const device::Lowered2q low = gateSet_->lower(g.op);
         const std::size_t a = g.qubits[0], b = g.qubits[1];
-        out.add(ac.r1, {a}, "pre");
-        out.add(ac.r2, {b}, "pre");
-        out.add(std::polar(1.0, ac.phase) * e.pulse, {a, b}, "pulse");
-        out.add(ac.l1, {a}, "post");
-        out.add(ac.l2, {b}, "post");
-        ctx.singleQubitGates += 4;
-        ctx.pulses.push_back({a, b, e.params});
-        ctx.totalPulseTime += e.params.tau;
+        for (const Gate &lg : low.ops.gates()) {
+            std::vector<std::size_t> mapped;
+            for (std::size_t q : lg.qubits)
+                mapped.push_back(q == 0 ? a : b);
+            if (lg.qubits.size() == 1)
+                ++ctx.singleQubitGates;
+            out.add(lg.op, std::move(mapped), lg.label);
+        }
+        if (low.pulse)
+            ctx.pulses.push_back({a, b, *low.pulse});
+        ctx.nativeGates += static_cast<std::size_t>(low.cost.nativeGates);
+        ctx.totalPulseTime += low.cost.totalTime;
     }
     return out;
 }

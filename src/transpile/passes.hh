@@ -11,23 +11,21 @@
  *   Route             — maps the circuit onto a device CouplingMap,
  *       inserting SWAPs along shortest paths and recording the final
  *       logical-to-physical layout in the context.
- *   AshNLower         — replaces every two-qubit gate by one AshN pulse
- *       plus single-qubit corrections, appending to the context's pulse
- *       schedule. Weyl synthesis results are memoized in a shared,
- *       thread-safe cache keyed by canonical chamber coordinates.
+ *   NativeLower       — replaces every two-qubit gate by its
+ *       device::NativeGateSet decomposition (one AshN pulse, minimal
+ *       CZs, interleaved SQiSWs, ...), appending pulse-based sets'
+ *       schedules to the context. The AshN set memoizes Weyl synthesis
+ *       in a shared, thread-safe device::WeylCache.
  */
 
 #ifndef CRISC_TRANSPILE_PASSES_HH
 #define CRISC_TRANSPILE_PASSES_HH
 
-#include <cstdint>
-#include <mutex>
-#include <unordered_map>
+#include <memory>
 
-#include "ashn/scheme.hh"
+#include "device/native_set.hh"
 #include "linalg/matrix.hh"
 #include "transpile/pass.hh"
-#include "weyl/weyl.hh"
 
 namespace crisc {
 namespace transpile {
@@ -87,65 +85,33 @@ class Route final : public Pass
 };
 
 /**
- * Memoized Weyl-decomposition cache: canonical chamber coordinates
- * (plus h, r) map to the synthesized pulse parameters and the realized
- * 4x4 pulse unitary, so repeated gate classes (Trotter bonds, CNOTs,
- * SWAPs) pay for ashn::synthesize + realize once. Thread-safe; shared
- * across a batch via the pass instance.
+ * Target-driven terminal pass: lowers every two-qubit gate through a
+ * device::NativeGateSet — on an AshN target to r1/r2 ("pre"), one
+ * pulse ("pulse"), l1/l2 ("post"); on a CZ target to the minimal CZ
+ * decomposition; on a SQiSW target to interleaved SQiSW applications.
+ * Pulse parameters (pulse-based sets) are appended to ctx.pulses;
+ * every lowered gate accumulates ctx.totalPulseTime (interaction
+ * time), ctx.nativeGates, and ctx.singleQubitGates. Single-qubit
+ * gates pass through.
  *
- * Keys use the exact coordinate bits — only bit-identical chamber
- * points share an entry, so memoization never perturbs results.
+ * The gate set is fixed at construction (usually from a Device via
+ * makePipeline); the default is an ideal AshN set (h = 0, r = 0). One
+ * pass instance shared by a batch shares the set's memoization state.
  */
-class WeylCache
+class NativeLower final : public Pass
 {
   public:
-    struct Entry
-    {
-        ashn::GateParams params;
-        linalg::Matrix pulse;  ///< ashn::realize(params).
-    };
+    explicit NativeLower(std::shared_ptr<const device::NativeGateSet>
+                             gate_set = nullptr);
 
-    /** Returns the cached entry, synthesizing on miss. */
-    Entry lookup(const weyl::WeylPoint &p, double h, double r);
-
-    std::size_t size() const;
-    std::size_t hits() const;
-    std::size_t misses() const;
-
-  private:
-    struct Key
-    {
-        double x, y, z, h, r;
-        bool operator==(const Key &) const = default;
-    };
-    struct KeyHash
-    {
-        std::size_t operator()(const Key &k) const;
-    };
-
-    mutable std::mutex mutex_;
-    std::unordered_map<Key, Entry, KeyHash> map_;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
-};
-
-/**
- * Lowers every two-qubit gate to r1/r2 ("pre"), one AshN pulse
- * ("pulse"), l1/l2 ("post"), appending the pulse parameters to
- * ctx.pulses and its time to ctx.totalPulseTime; single-qubit gates
- * pass through and are counted in ctx.singleQubitGates.
- */
-class AshNLower final : public Pass
-{
-  public:
-    const char *name() const override { return "ashn-lower"; }
+    const char *name() const override { return "native-lower"; }
     circuit::Circuit run(const circuit::Circuit &in,
                          PassContext &ctx) const override;
 
-    const WeylCache &cache() const { return cache_; }
+    const device::NativeGateSet &gateSet() const { return *gateSet_; }
 
   private:
-    mutable WeylCache cache_;
+    std::shared_ptr<const device::NativeGateSet> gateSet_;
 };
 
 } // namespace transpile

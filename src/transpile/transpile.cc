@@ -7,6 +7,26 @@
 namespace crisc {
 namespace transpile {
 
+namespace {
+
+const route::CouplingMap *
+couplingFor(const TranspileOptions &opts)
+{
+    if (opts.device != nullptr)
+        return &opts.device->coupling();
+    return opts.coupling;
+}
+
+PassContext
+contextFor(const TranspileOptions &opts)
+{
+    PassContext ctx;
+    ctx.coupling = couplingFor(opts);
+    return ctx;
+}
+
+} // namespace
+
 PassManager
 makePipeline(const TranspileOptions &opts)
 {
@@ -17,26 +37,16 @@ makePipeline(const TranspileOptions &opts)
         pm.emplace<SingleQubitFuse>();
     if (opts.peephole)
         pm.emplace<PeepholeCancel>();
-    if (opts.coupling != nullptr)
+    if (couplingFor(opts) != nullptr)
         pm.emplace<Route>();
     if (opts.lowerToPulses)
-        pm.emplace<AshNLower>();
+        pm.emplace<NativeLower>(
+            opts.device != nullptr
+                ? opts.device->gateSetPtr()
+                : device::makeNativeGateSet(device::NativeKind::AshN,
+                                            opts.h, opts.r));
     return pm;
 }
-
-namespace {
-
-PassContext
-contextFor(const TranspileOptions &opts)
-{
-    PassContext ctx;
-    ctx.h = opts.h;
-    ctx.r = opts.r;
-    ctx.coupling = opts.coupling;
-    return ctx;
-}
-
-} // namespace
 
 TranspileResult
 transpile(const circuit::Circuit &logical, const TranspileOptions &opts)

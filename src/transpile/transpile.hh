@@ -1,20 +1,21 @@
 /**
  * @file
  * Canned transpiler pipelines and the batch driver: one entry point
- * from a logical circuit to a routed AshN pulse program. Every
- * workload (synth::compileCircuit, the quantum-volume harness, the
- * examples) assembles its pipeline here, so they all exercise the same
- * pass implementations.
+ * from a logical circuit to a routed native program on a target
+ * device. Every workload (synth::compileCircuit, the quantum-volume
+ * harness, the examples) assembles its pipeline here, so they all
+ * exercise the same pass implementations.
  *
  * transpileBatch fans independent circuits out over a sim::ThreadPool;
  * results land in per-circuit slots, so output order is deterministic
- * and independent of the thread count, and the AshNLower Weyl cache is
- * shared across the whole batch.
+ * and independent of the thread count, and the lowering gate set (with
+ * its Weyl cache, on AshN targets) is shared across the whole batch.
  */
 
 #ifndef CRISC_TRANSPILE_TRANSPILE_HH
 #define CRISC_TRANSPILE_TRANSPILE_HH
 
+#include "device/device.hh"
 #include "transpile/pass_manager.hh"
 #include "transpile/passes.hh"
 
@@ -24,21 +25,28 @@ namespace transpile {
 /** Which passes makePipeline assembles, and their targets. */
 struct TranspileOptions
 {
-    double h = 0.0;  ///< ZZ coupling ratio (AshN lowering).
-    double r = 0.0;  ///< AshN drive cutoff.
-    /** Route onto this device when non-null; no routing otherwise. */
+    /**
+     * Target device: supplies the coupling map (routing) and the
+     * native gate set (lowering). When null, the legacy knobs below
+     * apply: route onto `coupling` (if any) and lower to an AshN set
+     * built from (h, r).
+     */
+    const device::Device *device = nullptr;
+    double h = 0.0;  ///< ZZ coupling ratio (AshN lowering, no device).
+    double r = 0.0;  ///< AshN drive cutoff (no device).
+    /** Route onto this map when non-null and device is null. */
     const route::CouplingMap *coupling = nullptr;
     bool decomposeWide = true;    ///< expand k >= 3 gates (QSD).
     bool fuseSingleQubit = true;  ///< merge 1q runs into 2q neighbours.
-    bool peephole = false;        ///< cancel identities / inverse pairs.
-    bool lowerToPulses = true;    ///< emit the AshN pulse program.
+    bool peephole = true;         ///< cancel identities / inverse pairs.
+    bool lowerToPulses = true;    ///< emit the native program.
 };
 
 /**
  * Builds the standard pipeline for @p opts, in order:
- * WideGateDecompose, SingleQubitFuse, PeepholeCancel, Route, AshNLower
- * (each gated by its option). The default options reproduce the legacy
- * synth::compileCircuit pipeline exactly.
+ * WideGateDecompose, SingleQubitFuse, PeepholeCancel, Route,
+ * NativeLower (each gated by its option); NativeLower is driven by the
+ * device's gate set when a device is given.
  */
 PassManager makePipeline(const TranspileOptions &opts);
 

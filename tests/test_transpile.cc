@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "circuit/circuit.hh"
+#include "device/native_set.hh"
 #include "linalg/random.hh"
 #include "qop/gates.hh"
 #include "qop/metrics.hh"
@@ -257,14 +258,15 @@ TEST(Pipeline, MetricsReportCoversEveryPass)
     linalg::Rng rng(10);
     const Circuit logical = randomCircuit(rng, 3, 5, true);
     const transpile::TranspileResult res = transpile::transpile(logical);
-    ASSERT_EQ(res.report.passes.size(), 3u);
+    ASSERT_EQ(res.report.passes.size(), 4u);
     EXPECT_EQ(res.report.passes[0].pass, "wide-gate-decompose");
     EXPECT_EQ(res.report.passes[1].pass, "single-qubit-fuse");
-    EXPECT_EQ(res.report.passes[2].pass, "ashn-lower");
+    EXPECT_EQ(res.report.passes[2].pass, "peephole-cancel");
+    EXPECT_EQ(res.report.passes[3].pass, "native-lower");
     EXPECT_EQ(res.report.passes[0].gatesBefore, logical.size());
-    EXPECT_EQ(res.report.passes[2].gatesAfter, res.circuit.size());
-    EXPECT_GT(res.report.passes[2].pulseTimeAfter, 0.0);
-    EXPECT_NE(res.report.summary().find("ashn-lower"), std::string::npos);
+    EXPECT_EQ(res.report.passes[3].gatesAfter, res.circuit.size());
+    EXPECT_GT(res.report.passes[3].pulseTimeAfter, 0.0);
+    EXPECT_NE(res.report.summary().find("native-lower"), std::string::npos);
 }
 
 TEST(Pipeline, RouteErrors)
@@ -333,15 +335,50 @@ TEST(WeylCache, MemoizesRepeatedGateClasses)
         c.add(bond, {std::size_t(i % 2), std::size_t(i % 2 + 1)}, "bond");
 
     transpile::PassManager pm;
-    pm.emplace<transpile::AshNLower>();
+    pm.emplace<transpile::NativeLower>();
     const auto &lower =
-        dynamic_cast<const transpile::AshNLower &>(pm.pass(0));
+        dynamic_cast<const transpile::NativeLower &>(pm.pass(0));
+    const auto &ashn =
+        dynamic_cast<const device::AshNGateSet &>(lower.gateSet());
     const transpile::TranspileResult res = pm.run(c);
-    EXPECT_EQ(lower.cache().misses(), 1u);
-    EXPECT_EQ(lower.cache().hits(), 9u);
-    EXPECT_EQ(lower.cache().size(), 1u);
+    EXPECT_EQ(ashn.cache().misses(), 1u);
+    EXPECT_EQ(ashn.cache().hits(), 9u);
+    EXPECT_EQ(ashn.cache().size(), 1u);
+    EXPECT_EQ(res.context.nativeGates, 10u);
     EXPECT_TRUE(qop::equalUpToGlobalPhase(res.circuit.toUnitary(),
                                           c.toUnitary(), 1e-6));
+}
+
+TEST(Peephole, DefaultPipelineMatchesPeepholeOff)
+{
+    // PeepholeCancel is on by default in makePipeline; the lowered
+    // unitary must be unchanged relative to a peephole-free pipeline
+    // (the guard for enabling it by default). SingleQubitFuse merges a
+    // cancelling same-pair 2q sequence into ONE identity-class gate —
+    // only the peephole then deletes it, saving a whole native gate.
+    linalg::Rng rng(15);
+    for (int trial = 0; trial < 3; ++trial) {
+        const Matrix u = linalg::haarUnitary(rng, 4);
+        Circuit logical(4);
+        logical.add(u, {0, 1});
+        logical.add(linalg::haarUnitary(rng, 4), {2, 3});
+        logical.add(u.dagger(), {0, 1});
+        logical.add(linalg::haarUnitary(rng, 4), {1, 2});
+
+        transpile::TranspileOptions off;
+        off.peephole = false;
+        const transpile::TranspileResult without =
+            transpile::transpile(logical, off);
+        const transpile::TranspileResult with =
+            transpile::transpile(logical);
+        EXPECT_LT(with.circuit.size(), without.circuit.size());
+        EXPECT_LT(with.context.pulses.size(),
+                  without.context.pulses.size());
+        EXPECT_TRUE(qop::equalUpToGlobalPhase(with.circuit.toUnitary(),
+                                              without.circuit.toUnitary(),
+                                              1e-6))
+            << "trial " << trial;
+    }
 }
 
 TEST(Batch, DeterministicAcrossThreadCounts)
