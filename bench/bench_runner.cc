@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Unified benchmark runner: wraps the library's three benchmark
+ * families — kernel microbenchmarks (micro), transpiler batch
+ * throughput (transpile), and the Figure-7 quantum-volume harness
+ * (fig7) — behind one dependency-free CLI and emits schema-versioned
+ * BENCH_<name>.json reports (see report.hh for the schema). CI runs
+ * `bench_runner --smoke` on every Release build and uploads the JSON
+ * as an artifact, so the performance trajectory is machine-readable
+ * per commit.
+ *
+ *   bench_runner [--scenario micro|transpile|fig7|all]
+ *                [--smoke] [--out-dir DIR]
+ *
+ * The micro family times every SIMD kernel against the sim::scalar
+ * reference baseline and records speedup_vs_scalar; the SIMD backend
+ * and lane width in use are stamped into every report.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../tests/sim_test_util.hh" // shared randomState fixture
+#include "circuit/circuit.hh"
+#include "device/device.hh"
+#include "linalg/random.hh"
+#include "qop/gates.hh"
+#include "qv/qv.hh"
+#include "report.hh"
+#include "sim/engine.hh"
+#include "sim/kernels.hh"
+#include "transpile/transpile.hh"
+
+using namespace crisc;
+using linalg::Complex;
+using linalg::CVector;
+using linalg::Matrix;
+using testutil::randomState;
+
+namespace {
+
+struct Options
+{
+    bool micro = true;
+    bool transpile = true;
+    bool fig7 = true;
+    bool smoke = false;
+    std::string outDir = ".";
+};
+
+/** Wall-clock seconds of fn(), best of @p rounds runs. */
+template <typename Fn>
+double
+bestSeconds(int rounds, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < rounds; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+bench::Report
+reportSkeleton(const std::string &name, bool smoke)
+{
+    bench::Report rep;
+    rep.name = name;
+    rep.gitSha = bench::reportGitSha();
+    rep.simdBackend = sim::simdBackendName();
+    rep.simdLanes = sim::simdLanes();
+    rep.threads = std::max(1u, std::thread::hardware_concurrency());
+    rep.smoke = smoke;
+    return rep;
+}
+
+/**
+ * Times one kernel pair (scalar baseline vs. dispatching kernel) over
+ * a whole-register qubit rotation and appends a scenario with ns/op
+ * and speedup_vs_scalar. @p ops is the number of kernel applications
+ * per timed round.
+ */
+template <typename ScalarFn, typename SimdFn>
+void
+addKernelScenario(bench::Report &rep, const std::string &name,
+                  std::size_t n, std::size_t ops, ScalarFn &&scalarFn,
+                  SimdFn &&simdFn)
+{
+    const double tScalar = bestSeconds(3, scalarFn);
+    const double tSimd = bestSeconds(3, simdFn);
+    const double nsScalar = 1e9 * tScalar / static_cast<double>(ops);
+    const double nsSimd = 1e9 * tSimd / static_cast<double>(ops);
+    const double speedup = nsSimd > 0.0 ? nsScalar / nsSimd : 0.0;
+    bench::Scenario sc;
+    sc.name = name + "/n=" + std::to_string(n);
+    sc.params = {{"qubits", static_cast<double>(n)}};
+    sc.metrics = {{"scalar_ns_per_op", nsScalar, "ns"},
+                  {"simd_ns_per_op", nsSimd, "ns"},
+                  {"speedup_vs_scalar", speedup, "x"}};
+    std::printf("  %-22s scalar %10.1f ns/op   simd %10.1f ns/op   "
+                "speedup %.2fx\n",
+                sc.name.c_str(), nsScalar, nsSimd, speedup);
+    rep.scenarios.push_back(std::move(sc));
+}
+
+void
+runMicro(const Options &opt)
+{
+    std::printf("== micro (kernel SIMD backend: %s, %zu lanes) ==\n",
+                sim::simdBackendName(), sim::simdLanes());
+    bench::Report rep = reportSkeleton("micro", opt.smoke);
+
+    const std::vector<std::size_t> widths =
+        opt.smoke ? std::vector<std::size_t>{12, 20}
+                  : std::vector<std::size_t>{12, 16, 20};
+    linalg::Rng rng(7);
+    const Matrix u2 = linalg::haarUnitary(rng, 2);
+    const Complex m2[4] = {u2(0, 0), u2(0, 1), u2(1, 0), u2(1, 1)};
+    const Matrix u4 = linalg::haarUnitary(rng, 4);
+    const Matrix rz = qop::rz(0.5371);
+
+    for (const std::size_t n : widths) {
+        CVector amps = randomState(rng, n);
+        // Each timed round sweeps every qubit (or qubit pair) once, so
+        // the ns/op figure averages all strides, including the scalar
+        // fallback's short-stride tail.
+        addKernelScenario(
+            rep, "apply1q", n, n,
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    sim::scalar::apply1q(amps.data(), n, q, m2);
+            },
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    sim::apply1q(amps.data(), n, q, m2);
+            });
+        addKernelScenario(
+            rep, "apply1qDiag", n, n,
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    sim::scalar::apply1qDiag(amps.data(), n, q, rz(0, 0),
+                                             rz(1, 1));
+            },
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    sim::apply1qDiag(amps.data(), n, q, rz(0, 0), rz(1, 1));
+            });
+        addKernelScenario(
+            rep, "applyPauliY", n, n,
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    sim::scalar::applyPauli(amps.data(), n, q, 2);
+            },
+            [&] {
+                for (std::size_t q = 0; q < n; ++q)
+                    sim::applyPauli(amps.data(), n, q, 2);
+            });
+        addKernelScenario(
+            rep, "apply2q", n, n - 1,
+            [&] {
+                for (std::size_t q = 0; q + 1 < n; ++q)
+                    sim::scalar::apply2q(amps.data(), n, q, q + 1,
+                                         u4.data());
+            },
+            [&] {
+                for (std::size_t q = 0; q + 1 < n; ++q)
+                    sim::apply2q(amps.data(), n, q, q + 1, u4.data());
+            });
+    }
+
+    // Plan-compiler quad fusion: a 1q-dressed entangler layer circuit,
+    // fused (2q x (1q (x) 1q) kernels) vs. unfused plans.
+    {
+        const std::size_t n = opt.smoke ? 12 : 16;
+        const std::size_t layers = 6;
+        circuit::Circuit c(n);
+        linalg::Rng crng(11);
+        for (std::size_t l = 0; l < layers; ++l) {
+            for (std::size_t q = 0; q < n; ++q)
+                c.add(linalg::haarUnitary(crng, 2), {q});
+            for (std::size_t q = 1 - (l % 2); q + 1 < n; q += 2)
+                c.add(linalg::haarUnitary(crng, 4), {q, q + 1});
+        }
+        const sim::Plan fused = sim::compile(
+            c, {.fuseSingleQubit = true, .fuseTwoQubit = true});
+        const sim::Plan unfused = sim::compile(
+            c, {.fuseSingleQubit = true, .fuseTwoQubit = false});
+        CVector amps(std::size_t{1} << n);
+        const auto runPlan = [&](const sim::Plan &p) {
+            std::fill(amps.begin(), amps.end(), Complex{0.0, 0.0});
+            amps[0] = 1.0;
+            sim::execute(p, amps.data());
+        };
+        const double tF = bestSeconds(3, [&] { runPlan(fused); });
+        const double tU = bestSeconds(3, [&] { runPlan(unfused); });
+        const double perGateF = 1e9 * tF / static_cast<double>(c.size());
+        const double perGateU = 1e9 * tU / static_cast<double>(c.size());
+        bench::Scenario sc;
+        sc.name = "engine_fuse2q/n=" + std::to_string(n);
+        sc.params = {{"qubits", static_cast<double>(n)},
+                     {"source_gates", static_cast<double>(c.size())},
+                     {"fused_ops", static_cast<double>(fused.ops().size())},
+                     {"unfused_ops",
+                      static_cast<double>(unfused.ops().size())}};
+        sc.metrics = {
+            {"fused_ns_per_gate", perGateF, "ns"},
+            {"unfused_ns_per_gate", perGateU, "ns"},
+            {"speedup_vs_unfused", perGateF > 0.0 ? perGateU / perGateF
+                                                  : 0.0,
+             "x"}};
+        std::printf("  %-22s unfused %8.1f ns/gate   fused %8.1f ns/gate "
+                    "  speedup %.2fx (%zu -> %zu ops)\n",
+                    sc.name.c_str(), perGateU, perGateF,
+                    perGateF > 0.0 ? perGateU / perGateF : 0.0,
+                    unfused.ops().size(), fused.ops().size());
+        rep.scenarios.push_back(std::move(sc));
+    }
+
+    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+}
+
+void
+runTranspile(const Options &opt)
+{
+    std::printf("== transpile ==\n");
+    bench::Report rep = reportSkeleton("transpile", opt.smoke);
+
+    linalg::Rng rng(3);
+    const std::size_t batch = opt.smoke ? 12 : 32;
+    std::vector<circuit::Circuit> circuits;
+    for (std::size_t i = 0; i < batch; ++i) {
+        circuit::Circuit c(4);
+        for (int g = 0; g < 12; ++g) {
+            const std::size_t a = rng.index(4);
+            std::size_t b = rng.index(3);
+            if (b >= a)
+                ++b;
+            c.add(linalg::haarUnitary(rng, 4), {a, b});
+        }
+        circuits.push_back(std::move(c));
+    }
+    transpile::TranspileOptions topts;
+    topts.h = 0.1;
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<int> threadCounts{1, 2};
+    if (!opt.smoke && hw > 2)
+        threadCounts.push_back(static_cast<int>(hw));
+    for (const int threads : threadCounts) {
+        const double t = bestSeconds(opt.smoke ? 2 : 3, [&] {
+            transpile::transpileBatch(circuits, topts, threads);
+        });
+        const double cps = static_cast<double>(batch) / t;
+        bench::Scenario sc;
+        sc.name = "transpileBatch/threads=" + std::to_string(threads);
+        sc.params = {{"threads", static_cast<double>(threads)},
+                     {"circuits", static_cast<double>(batch)}};
+        sc.metrics = {{"circuits_per_second", cps, "ops/s"},
+                      {"wall_seconds", t, "s"}};
+        std::printf("  %-28s %10.1f circuits/s\n", sc.name.c_str(), cps);
+        rep.scenarios.push_back(std::move(sc));
+    }
+
+    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+}
+
+void
+runFig7(const Options &opt)
+{
+    std::printf("== fig7 (quantum volume heavy output) ==\n");
+    bench::Report rep = reportSkeleton("fig7", opt.smoke);
+
+    struct Variant
+    {
+        const char *name;
+        device::NativeKind native;
+        double cutoff;
+    };
+    const std::vector<Variant> variants =
+        opt.smoke ? std::vector<Variant>{{"AshN r=0",
+                                          device::NativeKind::AshN, 0.0}}
+                  : std::vector<Variant>{
+                        {"AshN r=0", device::NativeKind::AshN, 0.0},
+                        {"SQiSW", device::NativeKind::SQiSW, 0.0},
+                        {"CZ", device::NativeKind::CZ, 0.0}};
+    const std::vector<std::size_t> widths =
+        opt.smoke ? std::vector<std::size_t>{3, 5}
+                  : std::vector<std::size_t>{3, 4, 5, 6};
+    const int circuits = opt.smoke ? 4 : 24;
+    const int trajectories = opt.smoke ? 4 : 12;
+
+    for (const Variant &v : variants) {
+        for (const std::size_t d : widths) {
+            const device::Device dev = device::Device::grid2d(
+                v.native, d,
+                {.twoQubitError = 0.012, .singleQubitError = 0.001,
+                 .h = 0.0, .r = v.cutoff});
+            qv::QvConfig cfg;
+            cfg.width = d;
+            cfg.device = &dev;
+            cfg.circuits = circuits;
+            cfg.trajectories = trajectories;
+            cfg.seed = 1000 + d;
+            const qv::QvResult r = qv::heavyOutputExperiment(cfg);
+            const double totalTraj =
+                static_cast<double>(circuits) * trajectories;
+            bench::Scenario sc;
+            sc.name = std::string(v.name) + "/d=" + std::to_string(d);
+            sc.params = {{"width", static_cast<double>(d)},
+                         {"circuits", static_cast<double>(circuits)},
+                         {"trajectories", static_cast<double>(trajectories)}};
+            sc.metrics = {
+                {"heavy_output_proportion", r.heavyOutputProportion, ""},
+                {"avg_native_gates", r.avgNativeGatesPerCircuit, "gates"},
+                {"wall_seconds", r.wallSeconds, "s"},
+                {"trajectories_per_second",
+                 r.wallSeconds > 0.0 ? totalTraj / r.wallSeconds : 0.0,
+                 "ops/s"}};
+            std::printf("  %-18s hop %.3f   %8.1f traj/s\n",
+                        sc.name.c_str(), r.heavyOutputProportion,
+                        r.wallSeconds > 0.0 ? totalTraj / r.wallSeconds
+                                            : 0.0);
+            rep.scenarios.push_back(std::move(sc));
+        }
+    }
+
+    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--scenario micro|transpile|fig7|all] [--smoke]\n"
+        "          [--out-dir DIR]\n"
+        "\n"
+        "Runs the unified benchmark suite and writes BENCH_<name>.json\n"
+        "per family into --out-dir (default: current directory).\n"
+        "--smoke shrinks problem sizes for CI; the n=20 apply1q\n"
+        "scalar-vs-SIMD point is always included.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    bool scenarioChosen = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            opt.outDir = argv[++i];
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            const std::string s = argv[++i];
+            if (!scenarioChosen) {
+                opt.micro = opt.transpile = opt.fig7 = false;
+                scenarioChosen = true;
+            }
+            if (s == "micro")
+                opt.micro = true;
+            else if (s == "transpile")
+                opt.transpile = true;
+            else if (s == "fig7")
+                opt.fig7 = true;
+            else if (s == "all")
+                opt.micro = opt.transpile = opt.fig7 = true;
+            else
+                return usage(argv[0]);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::printf("bench_runner: sha %s, backend %s, %u hw threads%s\n",
+                bench::reportGitSha().c_str(), sim::simdBackendName(),
+                std::max(1u, std::thread::hardware_concurrency()),
+                opt.smoke ? " (smoke)" : "");
+    if (opt.micro)
+        runMicro(opt);
+    if (opt.transpile)
+        runTranspile(opt);
+    if (opt.fig7)
+        runFig7(opt);
+    return 0;
+}

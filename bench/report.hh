@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine-readable benchmark reports. The unified runner
+ * (bench_runner.cc) fills one Report per benchmark family and writes it
+ * as BENCH_<name>.json, the schema-versioned perf-trajectory format CI
+ * uploads as an artifact:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "name": "micro",
+ *     "git_sha": "abc1234",           // configure-time snapshot
+ *     "simd_backend": "avx2",         // sim::simdBackendName()
+ *     "simd_lanes": 4,
+ *     "threads": 8,                   // hardware concurrency
+ *     "smoke": false,
+ *     "scenarios": [
+ *       { "name": "apply1q/n=20",
+ *         "params": { "qubits": 20 },
+ *         "metrics": [
+ *           { "name": "scalar_ns_per_op", "value": 1.1e6, "unit": "ns" },
+ *           { "name": "simd_ns_per_op",   "value": 3.2e5, "unit": "ns" },
+ *           { "name": "speedup_vs_scalar","value": 3.4,   "unit": "x" }
+ *         ] }
+ *     ]
+ *   }
+ *
+ * Only a tiny, dependency-free subset of JSON is produced: objects,
+ * arrays, strings (ASCII, escaped), and finite doubles printed with 17
+ * significant digits (NaN/inf serialize as null). Scenario and metric
+ * names are free-form; the "speedup_vs_scalar" metric name is the one
+ * contract consumers rely on for SIMD regression tracking.
+ */
+
+#ifndef CRISC_BENCH_REPORT_HH
+#define CRISC_BENCH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace crisc {
+namespace bench {
+
+/** One measured value. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit; ///< "ns", "x", "ops/s", "s", ... free-form.
+};
+
+/** A named parameter of a scenario (serialized as a number). */
+struct Param
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** One benchmark case within a report. */
+struct Scenario
+{
+    std::string name;
+    std::vector<Param> params;
+    std::vector<Metric> metrics;
+};
+
+/** A whole BENCH_<name>.json document. */
+struct Report
+{
+    int schemaVersion = 1;
+    std::string name;        ///< report family: "micro", "fig7", ...
+    std::string gitSha;      ///< from reportGitSha().
+    std::string simdBackend; ///< from sim::simdBackendName().
+    std::size_t simdLanes = 1;
+    unsigned threads = 1;    ///< hardware concurrency at run time.
+    bool smoke = false;      ///< reduced CI sizes.
+    std::vector<Scenario> scenarios;
+};
+
+/** The git revision compiled into the runner ("unknown" if absent). */
+std::string reportGitSha();
+
+/** Serializes a report to a JSON string (trailing newline included). */
+std::string toJson(const Report &report);
+
+/**
+ * Writes the report to <dir>/BENCH_<name>.json.
+ * @return the path written.
+ * @throws std::runtime_error if the file cannot be opened.
+ */
+std::string writeReport(const Report &report, const std::string &dir);
+
+} // namespace bench
+} // namespace crisc
+
+#endif // CRISC_BENCH_REPORT_HH

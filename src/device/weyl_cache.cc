@@ -1,6 +1,8 @@
 #include "weyl_cache.hh"
 
+#include <cmath>
 #include <functional>
+#include <stdexcept>
 
 namespace crisc {
 namespace device {
@@ -17,6 +19,14 @@ WeylCache::KeyHash::operator()(const Key &k) const
 WeylCache::Entry
 WeylCache::lookup(const weyl::WeylPoint &p, double h, double r)
 {
+    // A NaN coordinate can never match Key::operator== (NaN != NaN),
+    // so every lookup of the same poisoned point would miss, synthesize
+    // garbage, and insert a fresh entry — unbounded growth. Fail fast
+    // instead; infinities are equally unsynthesizable.
+    for (const double v : {p.x, p.y, p.z, h, r})
+        if (!std::isfinite(v))
+            throw std::invalid_argument(
+                "WeylCache::lookup: non-finite chamber coordinate");
     const Key key{detail::normZero(p.x), detail::normZero(p.y),
                   detail::normZero(p.z), detail::normZero(h),
                   detail::normZero(r)};

@@ -7,7 +7,12 @@
  * shared across a batch via the gate-set instance that owns it.
  *
  * Keys use the exact coordinate bits — only bit-identical chamber
- * points share an entry, so memoization never perturbs results.
+ * points share an entry, so memoization never perturbs results. Two
+ * guarded edge cases: -0.0 is normalized to +0.0 in all five key
+ * fields (hash and equality would otherwise disagree with ==), and
+ * non-finite coordinates are rejected with std::invalid_argument (a
+ * NaN key can never equal itself, so each lookup would insert a fresh
+ * entry — unbounded growth instead of a loud failure).
  */
 
 #ifndef CRISC_DEVICE_WEYL_CACHE_HH
@@ -51,7 +56,11 @@ class WeylCache
         linalg::Matrix pulse;  ///< ashn::realize(params).
     };
 
-    /** Returns the cached entry, synthesizing on miss. */
+    /**
+     * Returns the cached entry, synthesizing on miss.
+     * @throws std::invalid_argument if any of (x, y, z, h, r) is NaN
+     *         or infinite.
+     */
     Entry lookup(const weyl::WeylPoint &p, double h, double r);
 
     std::size_t size() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
@@ -105,6 +106,7 @@ QvResult
 heavyOutputExperiment(const QvConfig &config)
 {
     validate(config);
+    const auto wallStart = std::chrono::steady_clock::now();
 
     // One device drives everything below: routing (coupling map),
     // compilation cost (native gate set), and the noise budget.
@@ -289,6 +291,9 @@ heavyOutputExperiment(const QvConfig &config)
     out.avgNativeGatesPerCircuit = gateSum / config.circuits;
     out.avgTwoQubitTimePerCircuit = timeSum / config.circuits;
     out.avgSwapsPerCircuit = swapSum / config.circuits;
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
     return out;
 }
 

@@ -63,6 +63,12 @@ struct QvResult
     double avgNativeGatesPerCircuit = 0.0;
     double avgTwoQubitTimePerCircuit = 0.0; ///< units of 1/g.
     double avgSwapsPerCircuit = 0.0;
+    /**
+     * Wall-clock time of the experiment in seconds (timing only — not
+     * part of the deterministic result; the benchmark runner records
+     * it in BENCH_fig7.json).
+     */
+    double wallSeconds = 0.0;
 };
 
 /**

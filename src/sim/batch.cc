@@ -127,6 +127,11 @@ std::vector<double>
 runTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
                 const std::function<double(std::size_t, linalg::Rng &)> &body)
 {
+    // parallelFor(0) is itself a no-op; returning here just keeps the
+    // empty-batch contract visible at the API layer (no allocation, no
+    // lambda construction, body never invoked).
+    if (count == 0)
+        return {};
     std::vector<double> results(count, 0.0);
     pool.parallelFor(count, [&](std::size_t t) {
         linalg::Rng rng(streamSeed(base_seed, t));

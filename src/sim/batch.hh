@@ -83,7 +83,9 @@ class ThreadPool
  * Runs @p count trajectories and returns the per-trajectory results in
  * index order. Each trajectory t receives a fresh Rng seeded with
  * streamSeed(base_seed, t). Deterministic for fixed (count, base_seed)
- * regardless of the pool's thread count.
+ * regardless of the pool's thread count. count == 0 is a well-defined
+ * no-op: it returns an empty vector without dispatching to the pool
+ * and never invokes @p body.
  */
 std::vector<double>
 runTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,

@@ -9,11 +9,48 @@ namespace sim {
 namespace {
 
 using Mat2 = std::array<Complex, 4>;
+using Mat4 = std::array<Complex, 16>;
 
 bool
 isDiag2(const Mat2 &m)
 {
     return m[1] == Complex{0.0, 0.0} && m[2] == Complex{0.0, 0.0};
+}
+
+bool
+isDiag4(const Mat4 &m)
+{
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            if (r != c && m[r * 4 + c] != Complex{0.0, 0.0})
+                return false;
+    return true;
+}
+
+/** Kronecker product a (x) b with a on the most significant qubit. */
+Mat4
+kron2(const Mat2 &a, const Mat2 &b)
+{
+    Mat4 k;
+    for (std::size_t i0 = 0; i0 < 2; ++i0)
+        for (std::size_t i1 = 0; i1 < 2; ++i1)
+            for (std::size_t j0 = 0; j0 < 2; ++j0)
+                for (std::size_t j1 = 0; j1 < 2; ++j1)
+                    k[(i0 * 2 + i1) * 4 + (j0 * 2 + j1)] =
+                        a[i0 * 2 + j0] * b[i1 * 2 + j1];
+    return k;
+}
+
+/** Row-major 4x4 product a * b. */
+Mat4
+matmul4(const Mat4 &a, const Mat4 &b)
+{
+    Mat4 c{};
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t t = 0; t < 4; ++t)
+            for (std::size_t j = 0; j < 4; ++j)
+                c[r * 4 + j] += a[r * 4 + t] * b[t * 4 + j];
+    return c;
 }
 
 /** Pending fused 1q gate on one qubit during compilation. */
@@ -38,12 +75,19 @@ class Compiler
             addOneQ(g);
             return;
         }
+        if (g.qubits.size() == 2) {
+            // addTwoQ consumes the operand qubits' pending 1q products
+            // itself when 2q fusion is on; flushing here would force
+            // them into separate pair sweeps.
+            if (!opts_.fuseTwoQubit)
+                for (std::size_t q : g.qubits)
+                    flush(q);
+            addTwoQ(g);
+            return;
+        }
         for (std::size_t q : g.qubits)
             flush(q);
-        if (g.qubits.size() == 2)
-            addTwoQ(g);
-        else
-            addDense(g);
+        addDense(g);
     }
 
     Plan finish(std::size_t n)
@@ -77,18 +121,40 @@ class Compiler
 
     void addTwoQ(const circuit::Gate &g)
     {
+        Mat4 m;
+        for (std::size_t r = 0; r < 4; ++r)
+            for (std::size_t c = 0; c < 4; ++c)
+                m[r * 4 + c] = g.op(r, c);
+
+        if (opts_.fuseTwoQubit) {
+            // Fold pending 1q products on the operand qubits into the
+            // quad: the pendings act first, so m <- m * (u_hi (x) u_lo).
+            std::optional<Pending> &hi = pending_[g.qubits[0]];
+            std::optional<Pending> &lo = pending_[g.qubits[1]];
+            if (hi || lo) {
+                const Mat2 id{Complex{1.0, 0.0}, Complex{0.0, 0.0},
+                              Complex{0.0, 0.0}, Complex{1.0, 0.0}};
+                m = matmul4(m, kron2(hi ? hi->m : id, lo ? lo->m : id));
+                for (std::optional<Pending> *slot : {&hi, &lo}) {
+                    if (!*slot)
+                        continue;
+                    stats_.fusedGates += 1 + (*slot)->absorbed;
+                    ++stats_.fusedInto2q;
+                    slot->reset();
+                }
+            }
+        }
+
         KernelOp op;
         op.q0 = g.qubits[0];
         op.q1 = g.qubits[1];
-        if (exactlyDiagonal(g.op)) {
+        if (isDiag4(m)) {
             op.kind = KernelKind::TwoQDiag;
-            op.m = {g.op(0, 0), g.op(1, 1), g.op(2, 2), g.op(3, 3)};
+            op.m = {m[0], m[5], m[10], m[15]};
             ++stats_.diagOps;
         } else {
             op.kind = KernelKind::TwoQ;
-            for (std::size_t r = 0; r < 4; ++r)
-                for (std::size_t c = 0; c < 4; ++c)
-                    op.m[r * 4 + c] = g.op(r, c);
+            op.m = m;
         }
         ops_.push_back(std::move(op));
     }

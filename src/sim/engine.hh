@@ -6,6 +6,9 @@
  *   - fuses runs of adjacent single-qubit gates on the same qubit into
  *     one 2x2 kernel application (a Trotter layer of rz-rx-rz costs one
  *     sweep instead of three),
+ *   - folds pending single-qubit products into a following two-qubit
+ *     gate on the same qubits as one fused 2q x (1q (x) 1q) 4x4 kernel
+ *     operand, so a 1q-dressed entangler costs a single quad sweep,
  *   - detects exactly-diagonal 1q/2q operators and lowers them to the
  *     phase-only kernels, and
  *   - lowers everything of width <= 2 to the strided pair/quad kernels
@@ -59,6 +62,7 @@ struct PlanStats
     std::size_t sourceGates = 0; ///< gates in the input circuit.
     std::size_t kernelOps = 0;   ///< operations after lowering.
     std::size_t fusedGates = 0;  ///< 1q gates absorbed into a neighbour.
+    std::size_t fusedInto2q = 0; ///< pending 1q products folded into a 4x4.
     std::size_t diagOps = 0;     ///< ops lowered to a diagonal kernel.
     std::size_t denseOps = 0;    ///< ops left on the generic path.
 };
@@ -67,6 +71,13 @@ struct PlanStats
 struct CompileOptions
 {
     bool fuseSingleQubit = true; ///< merge adjacent 1q gates per qubit.
+    /**
+     * Fold pending 1q products into a following 2q gate on the same
+     * qubits: the quad kernel then applies m2q * (u_hi (x) u_lo) in one
+     * sweep. Only has effect while fuseSingleQubit keeps 1q products
+     * pending.
+     */
+    bool fuseTwoQubit = true;
 };
 
 /** An executable, immutable kernel plan for a fixed register width. */

@@ -8,6 +8,16 @@
  * (1q) and quads (2q) are enumerated in ascending memory order with no
  * per-group index buffers, and diagonal gates touch each amplitude once.
  *
+ * The top-level kernels run split-complex SIMD inner loops (AVX2, NEON,
+ * or a scalar fallback, selected at configure time via the CRISC_SIMD
+ * CMake option — see simd.hh) whenever the addressed contiguous run is
+ * at least one vector wide, and fall back to the scalar reference
+ * kernels in sim::scalar otherwise. The SIMD lanes execute exactly the
+ * scalar operation sequence, so both paths produce bit-identical
+ * results for finite amplitudes; tests and the benchmark runner pin
+ * this equivalence, and benchmarks report the speedup against the
+ * sim::scalar baseline.
+ *
  * Conventions match the rest of the library: qubit 0 is the most
  * significant bit of a basis index, and a k-qubit operator's basis is
  * |q[0] q[1] ... q[k-1]> with q[0] the most significant gate qubit.
@@ -27,6 +37,36 @@ namespace sim {
 
 using linalg::Complex;
 using linalg::Matrix;
+
+/**
+ * Name of the SIMD backend the kernels were compiled with ("avx2",
+ * "neon", or "scalar"); recorded by the benchmark runner.
+ */
+const char *simdBackendName();
+
+/** Complex lanes per SIMD vector (4 for AVX2, 2 for NEON, 1 scalar). */
+std::size_t simdLanes();
+
+/**
+ * Scalar reference kernels. These are the original, non-vectorized
+ * loops; the SIMD top-level kernels must match them bit for bit on
+ * finite inputs. Exported for equivalence tests and as the benchmark
+ * runner's speedup baseline.
+ */
+namespace scalar {
+
+void apply1q(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+             const Complex m[4]);
+void apply1qDiag(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                 Complex d0, Complex d1);
+void applyPauli(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                std::size_t pauli_index);
+void apply2q(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+             std::size_t q_lo, const Complex m[16]);
+void apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+                 std::size_t q_lo, const Complex d[4]);
+
+} // namespace scalar
 
 /** Applies a 2x2 gate m (row-major m[0..3]) to one qubit in place. */
 void apply1q(Complex *amps, std::size_t n_qubits, std::size_t qubit,

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Portable SIMD abstraction for the statevector kernels: a split
+ * (structure-of-arrays) complex vector type `CVec` holding kLanes
+ * real parts and kLanes imaginary parts in separate hardware vectors,
+ * with deinterleaving loads / interleaving stores from the library's
+ * interleaved std::complex<double> statevectors.
+ *
+ * Exactly one backend is compiled in, selected at configure time by the
+ * CRISC_SIMD CMake option (auto / avx2 / neon / scalar), which defines
+ * CRISC_SIMD_AVX2 or CRISC_SIMD_NEON for this translation unit; with
+ * neither defined the scalar fallback (kLanes == 1) is used. A guard
+ * below downgrades to scalar when the requested ISA is unavailable to
+ * the compiler, so a stale cache entry can never break the build.
+ *
+ * Numerical contract: every lane of every operation performs exactly
+ * the same IEEE-754 double operations, in the same order, as the
+ * scalar reference kernels (two multiplies and a subtract for the real
+ * part of a complex product, two multiplies and an add for the
+ * imaginary part; no fused multiply-add). Vectorized kernels are
+ * therefore bit-identical to the scalar path for finite inputs — the
+ * pinned Figure-7 regressions hold on every backend. Keep it that way:
+ * do not introduce FMA or reassociation here without revisiting the
+ * pinned tests, and compile this TU with -ffp-contract=off.
+ *
+ * AVX2 lane order note: the deinterleaving load permutes lanes
+ * (unpacklo/unpackhi yield element order 0,2,1,3), which is harmless —
+ * all CVec operations are elementwise, every CVec in flight uses the
+ * same permutation, and the store applies the exact inverse.
+ */
+
+#ifndef CRISC_SIM_SIMD_HH
+#define CRISC_SIM_SIMD_HH
+
+#include <complex>
+#include <cstddef>
+
+#if defined(CRISC_SIMD_AVX2) && !defined(__AVX2__)
+#undef CRISC_SIMD_AVX2
+#endif
+#if defined(CRISC_SIMD_NEON) && !(defined(__ARM_NEON) || defined(__aarch64__))
+#undef CRISC_SIMD_NEON
+#endif
+
+#if defined(CRISC_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(CRISC_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace crisc {
+namespace sim {
+namespace simd {
+
+#if defined(CRISC_SIMD_AVX2)
+
+inline constexpr std::size_t kLanes = 4;
+inline constexpr const char *kBackendName = "avx2";
+
+/** kLanes complex doubles in split (SoA) form. */
+struct CVec
+{
+    __m256d re;
+    __m256d im;
+};
+
+/** Deinterleaving load of kLanes consecutive complex amplitudes. */
+inline CVec
+loadc(const std::complex<double> *p)
+{
+    const double *d = reinterpret_cast<const double *>(p);
+    const __m256d lo = _mm256_loadu_pd(d);     // r0 i0 r1 i1
+    const __m256d hi = _mm256_loadu_pd(d + 4); // r2 i2 r3 i3
+    return {_mm256_unpacklo_pd(lo, hi),        // r0 r2 r1 r3
+            _mm256_unpackhi_pd(lo, hi)};       // i0 i2 i1 i3
+}
+
+/** Interleaving store; exact inverse of loadc's permutation. */
+inline void
+storec(std::complex<double> *p, CVec a)
+{
+    double *d = reinterpret_cast<double *>(p);
+    _mm256_storeu_pd(d, _mm256_unpacklo_pd(a.re, a.im));
+    _mm256_storeu_pd(d + 4, _mm256_unpackhi_pd(a.re, a.im));
+}
+
+inline CVec
+broadcast(std::complex<double> c)
+{
+    return {_mm256_set1_pd(c.real()), _mm256_set1_pd(c.imag())};
+}
+
+inline CVec
+add(CVec a, CVec b)
+{
+    return {_mm256_add_pd(a.re, b.re), _mm256_add_pd(a.im, b.im)};
+}
+
+inline CVec
+neg(CVec a)
+{
+    const __m256d zero = _mm256_setzero_pd();
+    return {_mm256_sub_pd(zero, a.re), _mm256_sub_pd(zero, a.im)};
+}
+
+/** Complex product, scalar operation order: (ar*br - ai*bi, ar*bi + ai*br). */
+inline CVec
+mul(CVec a, CVec b)
+{
+    return {_mm256_sub_pd(_mm256_mul_pd(a.re, b.re),
+                          _mm256_mul_pd(a.im, b.im)),
+            _mm256_add_pd(_mm256_mul_pd(a.re, b.im),
+                          _mm256_mul_pd(a.im, b.re))};
+}
+
+/** Multiplication by -i: (re, im) -> (im, -re). */
+inline CVec
+mulNegI(CVec a)
+{
+    return {a.im, _mm256_sub_pd(_mm256_setzero_pd(), a.re)};
+}
+
+/** Multiplication by +i: (re, im) -> (-im, re). */
+inline CVec
+mulPosI(CVec a)
+{
+    return {_mm256_sub_pd(_mm256_setzero_pd(), a.im), a.re};
+}
+
+#elif defined(CRISC_SIMD_NEON)
+
+inline constexpr std::size_t kLanes = 2;
+inline constexpr const char *kBackendName = "neon";
+
+struct CVec
+{
+    float64x2_t re;
+    float64x2_t im;
+};
+
+inline CVec
+loadc(const std::complex<double> *p)
+{
+    const float64x2x2_t v =
+        vld2q_f64(reinterpret_cast<const double *>(p));
+    return {v.val[0], v.val[1]};
+}
+
+inline void
+storec(std::complex<double> *p, CVec a)
+{
+    float64x2x2_t v;
+    v.val[0] = a.re;
+    v.val[1] = a.im;
+    vst2q_f64(reinterpret_cast<double *>(p), v);
+}
+
+inline CVec
+broadcast(std::complex<double> c)
+{
+    return {vdupq_n_f64(c.real()), vdupq_n_f64(c.imag())};
+}
+
+inline CVec
+add(CVec a, CVec b)
+{
+    return {vaddq_f64(a.re, b.re), vaddq_f64(a.im, b.im)};
+}
+
+inline CVec
+neg(CVec a)
+{
+    return {vnegq_f64(a.re), vnegq_f64(a.im)};
+}
+
+inline CVec
+mul(CVec a, CVec b)
+{
+    return {vsubq_f64(vmulq_f64(a.re, b.re), vmulq_f64(a.im, b.im)),
+            vaddq_f64(vmulq_f64(a.re, b.im), vmulq_f64(a.im, b.re))};
+}
+
+inline CVec
+mulNegI(CVec a)
+{
+    return {a.im, vnegq_f64(a.re)};
+}
+
+inline CVec
+mulPosI(CVec a)
+{
+    return {vnegq_f64(a.im), a.re};
+}
+
+#else // scalar fallback
+
+inline constexpr std::size_t kLanes = 1;
+inline constexpr const char *kBackendName = "scalar";
+
+struct CVec
+{
+    double re;
+    double im;
+};
+
+inline CVec
+loadc(const std::complex<double> *p)
+{
+    return {p->real(), p->imag()};
+}
+
+inline void
+storec(std::complex<double> *p, CVec a)
+{
+    *p = {a.re, a.im};
+}
+
+inline CVec
+broadcast(std::complex<double> c)
+{
+    return {c.real(), c.imag()};
+}
+
+inline CVec
+add(CVec a, CVec b)
+{
+    return {a.re + b.re, a.im + b.im};
+}
+
+inline CVec
+neg(CVec a)
+{
+    return {-a.re, -a.im};
+}
+
+inline CVec
+mul(CVec a, CVec b)
+{
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+inline CVec
+mulNegI(CVec a)
+{
+    return {a.im, -a.re};
+}
+
+inline CVec
+mulPosI(CVec a)
+{
+    return {-a.im, a.re};
+}
+
+#endif
+
+} // namespace simd
+} // namespace sim
+} // namespace crisc
+
+#endif // CRISC_SIM_SIMD_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared statevector test fixtures: a seeded random normalized state
+ * and an element-wise max-difference metric, used by the simulation
+ * (test_sim.cc) and SIMD-equivalence (test_simd.cc) suites so both
+ * exercise identical state generation.
+ */
+
+#ifndef CRISC_TESTS_SIM_TEST_UTIL_HH
+#define CRISC_TESTS_SIM_TEST_UTIL_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.hh"
+#include "linalg/random.hh"
+
+namespace crisc {
+namespace testutil {
+
+/** A Haar-ish random normalized n-qubit statevector. */
+inline linalg::CVector
+randomState(linalg::Rng &rng, std::size_t n)
+{
+    linalg::CVector v(std::size_t{1} << n);
+    double norm2 = 0.0;
+    for (linalg::Complex &a : v) {
+        a = linalg::Complex{rng.gaussian(), rng.gaussian()};
+        norm2 += std::norm(a);
+    }
+    const double scale = 1.0 / std::sqrt(norm2);
+    for (linalg::Complex &a : v)
+        a *= scale;
+    return v;
+}
+
+/** max_i |a[i] - b[i]| over two equal-length vectors. */
+inline double
+maxDiff(const linalg::CVector &a, const linalg::CVector &b)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace testutil
+} // namespace crisc
+
+#endif // CRISC_TESTS_SIM_TEST_UTIL_HH

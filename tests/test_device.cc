@@ -9,6 +9,7 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -384,6 +385,92 @@ TEST(QvOnDevice, DeviceLargerThanWidthRoutesThroughSpareQubits)
     EXPECT_GE(r.heavyOutputProportion, 0.0);
     EXPECT_LE(r.heavyOutputProportion, 1.0);
     EXPECT_TRUE(std::isfinite(r.heavyOutputProportion));
+}
+
+// ---------------------------------------------------- Weyl cache edges
+
+TEST(WeylCache, RejectsNonFiniteCoordinates)
+{
+    // A NaN key can never equal itself, so without the guard every
+    // lookup of a poisoned point would insert a fresh entry; the cache
+    // must fail fast and stay empty instead.
+    device::WeylCache cache;
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(cache.lookup({nan, 0.1, 0.0}, 0.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cache.lookup({0.3, nan, 0.0}, 0.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cache.lookup({0.3, 0.1, nan}, 0.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cache.lookup({0.3, 0.1, 0.0}, nan, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cache.lookup({0.3, 0.1, 0.0}, 0.0, nan),
+                 std::invalid_argument);
+    EXPECT_THROW(cache.lookup({inf, 0.1, 0.0}, 0.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cache.lookup({0.3, 0.1, 0.0}, -inf, 0.0),
+                 std::invalid_argument);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    // Repeating the poisoned lookup never grows the map.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_THROW(cache.lookup({nan, 0.1, 0.0}, 0.0, 0.0),
+                     std::invalid_argument);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WeylCache, NegativeZeroNormalizedInEveryKeyField)
+{
+    // -0.0 == 0.0 but hashes differently; all five key fields must
+    // normalize so signed zeros share one entry.
+    device::WeylCache cache;
+    cache.lookup({0.3, 0.1, 0.0}, 0.0, 0.0);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.lookup({0.3, 0.1, -0.0}, -0.0, -0.0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(WeylCache, ConcurrentBatchAccountsEveryLoweringAndStaysBounded)
+{
+    // One gate class repeated across a batch transpiled on several
+    // threads, lowered through the device's shared AshN cache: every
+    // 2q lowering must register as exactly one hit or miss, and the
+    // cache must hold exactly the distinct chamber points (one), not
+    // grow with the lookup count.
+    const Matrix bond = qop::canonicalGate(0.3, 0.2, 0.1);
+    const std::size_t gatesPerCircuit = 10;
+    std::vector<Circuit> batch;
+    for (int i = 0; i < 16; ++i) {
+        Circuit c(2);
+        for (std::size_t g = 0; g < gatesPerCircuit; ++g)
+            c.add(bond, {0, 1}, "bond");
+        batch.push_back(std::move(c));
+    }
+
+    const Device dev = Device::withCoupling(
+        NativeKind::AshN, CouplingMap::line(2),
+        {.twoQubitError = 0.012, .singleQubitError = 0.001, .h = 0.0,
+         .r = 0.0});
+    transpile::TranspileOptions opts;
+    opts.device = &dev;
+    opts.fuseSingleQubit = false; // keep every bond a separate lowering
+    opts.peephole = false;
+    const auto results = transpile::transpileBatch(batch, opts, 4);
+
+    std::size_t lowered = 0;
+    for (const auto &res : results)
+        lowered += res.context.nativeGates;
+    EXPECT_EQ(lowered, batch.size() * gatesPerCircuit);
+
+    const auto &ashn =
+        dynamic_cast<const device::AshNGateSet &>(dev.gateSet());
+    EXPECT_EQ(ashn.cache().hits() + ashn.cache().misses(), lowered);
+    EXPECT_EQ(ashn.cache().size(), 1u); // one gate class, one entry
+    EXPECT_GE(ashn.cache().misses(), 1u);
 }
 
 TEST(QvOnDevice, WideDeviceCompactsToTouchedQubits)

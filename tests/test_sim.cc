@@ -20,6 +20,7 @@
 #include "sim/batch.hh"
 #include "sim/engine.hh"
 #include "sim/kernels.hh"
+#include "sim_test_util.hh"
 
 namespace {
 
@@ -28,30 +29,8 @@ using circuit::Circuit;
 using linalg::Complex;
 using linalg::CVector;
 using linalg::Matrix;
-
-CVector
-randomState(linalg::Rng &rng, std::size_t n)
-{
-    CVector v(std::size_t{1} << n);
-    double norm2 = 0.0;
-    for (Complex &a : v) {
-        a = Complex{rng.gaussian(), rng.gaussian()};
-        norm2 += std::norm(a);
-    }
-    const double scale = 1.0 / std::sqrt(norm2);
-    for (Complex &a : v)
-        a *= scale;
-    return v;
-}
-
-double
-maxDiff(const CVector &a, const CVector &b)
-{
-    double m = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        m = std::max(m, std::abs(a[i] - b[i]));
-    return m;
-}
+using testutil::maxDiff;
+using testutil::randomState;
 
 TEST(Kernels, OneQubitMatchesEmbedding)
 {
@@ -205,7 +184,9 @@ TEST(Engine, FusedAndUnfusedPlansAgree)
     EXPECT_LE(fused.ops().size(), unfused.ops().size());
 }
 
-TEST(Engine, FusionMergesAdjacentSingleQubitRuns)
+/** H-rz-H on q0 and rz-S on q1, then CX: the quad-fusion testbed. */
+Circuit
+dressedCnotCircuit()
 {
     Circuit c(2);
     c.add(qop::hadamard(), {0}, "H");
@@ -214,16 +195,70 @@ TEST(Engine, FusionMergesAdjacentSingleQubitRuns)
     c.add(qop::rz(0.5), {1}, "rz");
     c.add(qop::sGate(), {1}, "S");
     c.add(qop::cnot(), {0, 1}, "CX");
-    const sim::Plan plan = sim::compile(c);
+    return c;
+}
+
+TEST(Engine, FusionMergesAdjacentSingleQubitRuns)
+{
+    const Circuit c = dressedCnotCircuit();
+    const sim::Plan plan = sim::compile(c, {.fuseTwoQubit = false});
     // Three 1q gates on q0 -> one op; two diagonal 1q on q1 -> one
     // diagonal op; plus the CNOT.
     EXPECT_EQ(plan.ops().size(), 3u);
     EXPECT_EQ(plan.stats().fusedGates, 3u);
     EXPECT_EQ(plan.stats().sourceGates, 6u);
+    EXPECT_EQ(plan.stats().fusedInto2q, 0u);
     bool sawDiag = false;
     for (const sim::KernelOp &op : plan.ops())
         sawDiag = sawDiag || op.kind == sim::KernelKind::OneQDiag;
     EXPECT_TRUE(sawDiag);
+}
+
+TEST(Engine, TwoQubitFusionFoldsDressedEntanglerIntoOneQuad)
+{
+    const Circuit c = dressedCnotCircuit();
+    const sim::Plan plan = sim::compile(c); // both fusions default-on
+    // Both pending 1q products fold into the CX: one 4x4 kernel total.
+    ASSERT_EQ(plan.ops().size(), 1u);
+    EXPECT_EQ(plan.ops()[0].kind, sim::KernelKind::TwoQ);
+    EXPECT_EQ(plan.stats().sourceGates, 6u);
+    EXPECT_EQ(plan.stats().fusedGates, 5u); // every 1q gate absorbed
+    EXPECT_EQ(plan.stats().fusedInto2q, 2u);
+
+    // And it is the same unitary: executing the one-op plan equals the
+    // unfused reference to near machine precision.
+    const sim::Plan reference = sim::compile(
+        c, {.fuseSingleQubit = false, .fuseTwoQubit = false});
+    EXPECT_LT(maxDiff(sim::run(plan), sim::run(reference)), 1e-12);
+}
+
+TEST(Engine, TwoQubitFusionOfDiagonalDressingStaysDiagonal)
+{
+    // Diagonal 1q pendings folded into a diagonal entangler keep the
+    // quad on the phase-only kernel path.
+    Circuit c(2);
+    c.add(qop::rz(0.4), {0}, "rz");
+    c.add(qop::rz(0.9), {1}, "rz");
+    c.add(qop::cz(), {0, 1}, "CZ");
+    const sim::Plan plan = sim::compile(c);
+    ASSERT_EQ(plan.ops().size(), 1u);
+    EXPECT_EQ(plan.ops()[0].kind, sim::KernelKind::TwoQDiag);
+    EXPECT_EQ(plan.stats().fusedInto2q, 2u);
+}
+
+TEST(Engine, TwoQubitFusionLeavesUnrelatedPendingsAlone)
+{
+    // A pending 1q product on a qubit the 2q gate does not touch must
+    // flush as its own kernel op, after the quad.
+    Circuit c(3);
+    c.add(qop::hadamard(), {2}, "H");
+    c.add(qop::cnot(), {0, 1}, "CX");
+    const sim::Plan plan = sim::compile(c);
+    ASSERT_EQ(plan.ops().size(), 2u);
+    EXPECT_EQ(plan.stats().fusedInto2q, 0u);
+    const sim::Plan reference = sim::compile(
+        c, {.fuseSingleQubit = false, .fuseTwoQubit = false});
+    EXPECT_LT(maxDiff(sim::run(plan), sim::run(reference)), 1e-12);
 }
 
 TEST(Engine, DiagonalTwoQubitGateLowersToDiagKernel)
@@ -256,6 +291,45 @@ TEST(Batch, StreamSeedsAreDistinct)
         for (std::uint64_t stream = 0; stream < 100; ++stream)
             seen.insert(sim::streamSeed(base, stream));
     EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(Batch, StreamSeedAdjacentBasesAndIndicesDoNotOverlap)
+{
+    // Regression for the stream-derivation contract: nearby base seeds
+    // (the values callers actually pick: 42, 43, ...) combined with the
+    // first few hundred trajectory indices must all map to distinct
+    // RNG seeds — a collision would hand two trajectories (or two
+    // experiments) the same random stream.
+    std::set<std::uint64_t> seen;
+    std::size_t inserted = 0;
+    for (std::uint64_t base = 1000; base < 1008; ++base) {
+        for (std::uint64_t stream = 0; stream < 256; ++stream) {
+            seen.insert(sim::streamSeed(base, stream));
+            ++inserted;
+        }
+    }
+    EXPECT_EQ(seen.size(), inserted);
+    // Zero-valued inputs are ordinary members of the family.
+    EXPECT_NE(sim::streamSeed(0, 0), sim::streamSeed(0, 1));
+    EXPECT_NE(sim::streamSeed(0, 0), sim::streamSeed(1, 0));
+}
+
+TEST(Batch, ZeroTrajectoriesIsAWellDefinedNoOp)
+{
+    sim::ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    const auto body = [&](std::size_t, linalg::Rng &) {
+        ++calls;
+        return 1.0;
+    };
+    const std::vector<double> results =
+        sim::runTrajectories(pool, 0, 7, body);
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(sim::sumTrajectories(pool, 0, 7, body), 0.0);
+    EXPECT_EQ(calls.load(), 0);
+    // The pool is still fully serviceable afterwards.
+    EXPECT_EQ(sim::sumTrajectories(pool, 8, 7, body), 8.0);
+    EXPECT_EQ(calls.load(), 8);
 }
 
 TEST(Batch, ParallelForCoversEveryIndexOnce)
