@@ -1,20 +1,22 @@
 /**
  * @file
- * Unified benchmark runner: wraps the library's three benchmark
- * families — kernel microbenchmarks (micro), transpiler batch
- * throughput (transpile), and the Figure-7 quantum-volume harness
- * (fig7) — behind one dependency-free CLI and emits schema-versioned
- * BENCH_<name>.json reports (see report.hh for the schema). CI runs
- * `bench_runner --smoke` on every Release build and uploads the JSON
- * as an artifact, so the performance trajectory is machine-readable
- * per commit.
+ * Unified benchmark runner: wraps the library's four benchmark
+ * families — kernel microbenchmarks (micro), state-parallel sweep
+ * scaling (sweep), transpiler batch throughput (transpile), and the
+ * Figure-7 quantum-volume harness (fig7) — behind one dependency-free
+ * CLI and emits schema-versioned BENCH_<name>.json reports (see
+ * report.hh for the schema). CI runs `bench_runner --smoke` on every
+ * Release build and uploads the JSON as an artifact, so the
+ * performance trajectory is machine-readable per commit.
  *
- *   bench_runner [--scenario micro|transpile|fig7|all]
+ *   bench_runner [--scenario micro|sweep|transpile|fig7|all]
  *                [--smoke] [--out-dir DIR]
  *
  * The micro family times every SIMD kernel against the sim::scalar
- * reference baseline and records speedup_vs_scalar; the SIMD backend
- * and lane width in use are stamped into every report.
+ * reference baseline and records speedup_vs_scalar; the sweep family
+ * times chunked pool execution of single kernel sweeps against one
+ * thread and records speedup_vs_1thread; the SIMD backend and lane
+ * width in use are stamped into every report.
  */
 
 #include <algorithm>
@@ -33,6 +35,7 @@
 #include "qop/gates.hh"
 #include "qv/qv.hh"
 #include "report.hh"
+#include "sim/batch.hh"
 #include "sim/engine.hh"
 #include "sim/kernels.hh"
 #include "transpile/transpile.hh"
@@ -48,6 +51,7 @@ namespace {
 struct Options
 {
     bool micro = true;
+    bool sweep = true;
     bool transpile = true;
     bool fig7 = true;
     bool smoke = false;
@@ -228,6 +232,84 @@ runMicro(const Options &opt)
     std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
 }
 
+/**
+ * State-parallel sweep scaling (BENCH_sweep_scaling.json): chunked
+ * pool execution of one kernel sweep (engine.hh ExecOptions) against
+ * the same sweep on one thread. Smoke shrinks the register; the
+ * speedup_vs_1thread metric at apply2q/threads=4 is the contract
+ * consumers track (>= 2x expected on >= 4-core hardware; results are
+ * bit-identical at every point, pinned by test_simd).
+ */
+void
+runSweep(const Options &opt)
+{
+    std::printf("== sweep_scaling (state-parallel kernel sweeps, "
+                "backend %s) ==\n",
+                sim::simdBackendName());
+    bench::Report rep = reportSkeleton("sweep_scaling", opt.smoke);
+
+    const std::size_t n = opt.smoke ? 18 : 22;
+    const std::vector<std::size_t> threadCounts{1, 2, 4};
+    const int sweepsPerRound = opt.smoke ? 8 : 2;
+
+    linalg::Rng rng(17);
+    CVector amps = randomState(rng, n);
+
+    sim::KernelOp op1q;
+    op1q.kind = sim::KernelKind::OneQ;
+    op1q.q0 = n / 2;
+    {
+        const Matrix u = linalg::haarUnitary(rng, 2);
+        for (std::size_t i = 0; i < 4; ++i)
+            op1q.m[i] = u(i / 2, i % 2);
+    }
+    sim::KernelOp op2q;
+    op2q.kind = sim::KernelKind::TwoQ;
+    op2q.q0 = n / 3;
+    op2q.q1 = (2 * n) / 3;
+    {
+        const Matrix u = linalg::haarUnitary(rng, 4);
+        for (std::size_t i = 0; i < 16; ++i)
+            op2q.m[i] = u(i / 4, i % 4);
+    }
+
+    struct Case
+    {
+        const char *name;
+        const sim::KernelOp *op;
+    };
+    for (const Case &c : {Case{"apply1q", &op1q}, Case{"apply2q", &op2q}}) {
+        double ns1 = 0.0;
+        for (const std::size_t threads : threadCounts) {
+            sim::ThreadPool pool(threads);
+            sim::ExecOptions exec;
+            exec.pool = &pool;
+            exec.threads = threads;
+            const double t = bestSeconds(3, [&] {
+                for (int s = 0; s < sweepsPerRound; ++s)
+                    sim::executeOp(*c.op, amps.data(), n, exec);
+            });
+            const double ns =
+                1e9 * t / static_cast<double>(sweepsPerRound);
+            if (threads == 1)
+                ns1 = ns;
+            const double speedup = ns > 0.0 ? ns1 / ns : 0.0;
+            bench::Scenario sc;
+            sc.name = std::string(c.name) + "/n=" + std::to_string(n) +
+                      "/threads=" + std::to_string(threads);
+            sc.params = {{"qubits", static_cast<double>(n)},
+                         {"threads", static_cast<double>(threads)}};
+            sc.metrics = {{"ns_per_sweep", ns, "ns"},
+                          {"speedup_vs_1thread", speedup, "x"}};
+            std::printf("  %-26s %12.1f ns/sweep   speedup %.2fx\n",
+                        sc.name.c_str(), ns, speedup);
+            rep.scenarios.push_back(std::move(sc));
+        }
+    }
+
+    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+}
+
 void
 runTranspile(const Options &opt)
 {
@@ -341,7 +423,7 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--scenario micro|transpile|fig7|all] [--smoke]\n"
+        "usage: %s [--scenario micro|sweep|transpile|fig7|all] [--smoke]\n"
         "          [--out-dir DIR]\n"
         "\n"
         "Runs the unified benchmark suite and writes BENCH_<name>.json\n"
@@ -368,17 +450,19 @@ main(int argc, char **argv)
         } else if (arg == "--scenario" && i + 1 < argc) {
             const std::string s = argv[++i];
             if (!scenarioChosen) {
-                opt.micro = opt.transpile = opt.fig7 = false;
+                opt.micro = opt.sweep = opt.transpile = opt.fig7 = false;
                 scenarioChosen = true;
             }
             if (s == "micro")
                 opt.micro = true;
+            else if (s == "sweep")
+                opt.sweep = true;
             else if (s == "transpile")
                 opt.transpile = true;
             else if (s == "fig7")
                 opt.fig7 = true;
             else if (s == "all")
-                opt.micro = opt.transpile = opt.fig7 = true;
+                opt.micro = opt.sweep = opt.transpile = opt.fig7 = true;
             else
                 return usage(argv[0]);
         } else {
@@ -392,6 +476,8 @@ main(int argc, char **argv)
                 opt.smoke ? " (smoke)" : "");
     if (opt.micro)
         runMicro(opt);
+    if (opt.sweep)
+        runSweep(opt);
     if (opt.transpile)
         runTranspile(opt);
     if (opt.fig7)

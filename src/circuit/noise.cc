@@ -25,11 +25,31 @@ pauliByIndex(std::size_t idx)
     }
 }
 
+namespace {
+
+/** Rejects error parameters outside [0, 1]; NaN fails the negated
+ *  in-range test and is rejected too. */
+void
+validateErrorParameter(double p)
+{
+    if (!(p >= 0.0 && p <= 1.0))
+        throw std::invalid_argument(
+            "applyDepolarizing: error parameter must lie in [0, 1]");
+}
+
+} // namespace
+
 void
 applyDepolarizing(Complex *amps, std::size_t n_qubits,
                   const std::vector<std::size_t> &qubits, double p,
                   linalg::Rng &rng)
 {
+    validateErrorParameter(p);
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        for (std::size_t j = i + 1; j < qubits.size(); ++j)
+            if (qubits[i] == qubits[j])
+                throw std::invalid_argument(
+                    "applyDepolarizing: duplicate qubit in Pauli string");
     if (p <= 0.0)
         return;
     if (rng.uniform() >= p)
@@ -51,6 +71,7 @@ void
 applyDepolarizing(Complex *amps, std::size_t n_qubits, std::size_t qubit,
                   double p, linalg::Rng &rng)
 {
+    validateErrorParameter(p);
     if (p <= 0.0)
         return;
     if (rng.uniform() >= p)
@@ -62,6 +83,10 @@ void
 applyDepolarizing(Complex *amps, std::size_t n_qubits, std::size_t qubit_a,
                   std::size_t qubit_b, double p, linalg::Rng &rng)
 {
+    validateErrorParameter(p);
+    if (qubit_a == qubit_b)
+        throw std::invalid_argument(
+            "applyDepolarizing: duplicate qubit in Pauli string");
     if (p <= 0.0)
         return;
     if (rng.uniform() >= p)

@@ -20,6 +20,10 @@ namespace circuit {
  * probability p a uniformly random non-identity k-qubit Pauli is
  * applied — the standard stochastic unravelling of the depolarizing
  * channel with error parameter p.
+ *
+ * All overloads validate the channel: p outside [0, 1] (including NaN)
+ * and duplicate qubits throw std::invalid_argument — either would
+ * silently produce a map that is not a depolarizing channel.
  */
 void applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
                        double p, linalg::Rng &rng);

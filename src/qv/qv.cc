@@ -27,25 +27,28 @@ using weyl::WeylPoint;
 namespace {
 
 /**
- * One physical two-qubit block, pre-lowered to a flat 4x4 kernel
- * operand, with its native-gate noise budget.
+ * One physical two-qubit block, pre-lowered to a dense-quad KernelOp
+ * (executable serial or state-parallel via sim::executeOp), with its
+ * native-gate noise budget.
  */
 struct PhysicalOp
 {
-    std::size_t a, b;              ///< physical qubits (a = gate msq).
-    std::array<Complex, 16> m;     ///< ideal 4x4 unitary, row-major.
+    sim::KernelOp kernel;          ///< TwoQ op; q0 = gate msq.
     int natives;                   ///< native gates used to realize it.
     double p2;                     ///< 2q depolarizing rate per native gate.
 };
 
-std::array<Complex, 16>
-flatten4(const Matrix &u)
+sim::KernelOp
+quadOp(std::size_t a, std::size_t b, const Matrix &u)
 {
-    std::array<Complex, 16> m;
+    sim::KernelOp op;
+    op.kind = sim::KernelKind::TwoQ;
+    op.q0 = a;
+    op.q1 = b;
     for (std::size_t r = 0; r < 4; ++r)
         for (std::size_t c = 0; c < 4; ++c)
-            m[r * 4 + c] = u(r, c);
-    return m;
+            op.m[r * 4 + c] = u(r, c);
+    return op;
 }
 
 void
@@ -66,6 +69,14 @@ validate(const QvConfig &config)
     if (config.trajectories <= 0)
         fail("trajectories must be positive, got " +
              std::to_string(config.trajectories));
+    if (config.threads < 0)
+        fail("threads must be non-negative (0 = hardware concurrency), "
+             "got " +
+             std::to_string(config.threads));
+    if (config.stateThreads < 0)
+        fail("stateThreads must be non-negative (0 = width heuristic), "
+             "got " +
+             std::to_string(config.stateThreads));
     if (!(config.czError >= 0.0 && config.czError <= 1.0))
         fail("czError must lie in [0, 1], got " +
              std::to_string(config.czError));
@@ -125,8 +136,40 @@ heavyOutputExperiment(const QvConfig &config)
     const std::size_t n = map.numQubits();
     const transpile::Route routePass;
     const WeylPoint swapPoint = ashn::swapPoint();
-    sim::ThreadPool pool(static_cast<std::size_t>(
-        config.threads < 0 ? 1 : config.threads));
+    // Two parallel axes (batch.hh): concurrent trajectories, and
+    // state-parallel sweeps within each. stateThreads == 0 asks the
+    // width heuristic to split the `threads` budget across both; the
+    // width that matters is the *simulated* register size (compacted
+    // routed qubits, >= d), so the runner is built lazily once the
+    // first circuit has been routed. The choice never affects results,
+    // so one representative circuit suffices.
+    std::optional<sim::TrajectoryRunner> runner;
+    std::optional<sim::ThreadPool> idealPool;
+    sim::ExecOptions idealExec;
+    const auto ensureRunner = [&](std::size_t sim_width) {
+        if (runner)
+            return;
+        sim::BatchPlan split;
+        if (config.stateThreads == 0) {
+            split = sim::planBatch(
+                static_cast<std::size_t>(config.threads), sim_width,
+                static_cast<std::size_t>(config.trajectories));
+        } else {
+            split = {static_cast<std::size_t>(config.threads),
+                     static_cast<std::size_t>(config.stateThreads)};
+        }
+        runner.emplace(split.trajWorkers, split.stateThreads);
+        // The per-circuit ideal simulation runs before the trajectory
+        // fan-out, so it may use the whole budget for its sweeps
+        // (bit-identical to serial execution either way).
+        const std::size_t totalBudget =
+            runner->trajWorkers() * runner->stateThreads();
+        if (totalBudget > 1) {
+            idealPool.emplace(totalBudget);
+            idealExec.pool = &*idealPool;
+            idealExec.threads = totalBudget;
+        }
+    };
 
     double heavySum = 0.0;
     double gateSum = 0.0, timeSum = 0.0, swapSum = 0.0;
@@ -157,27 +200,10 @@ heavyOutputExperiment(const QvConfig &config)
             }
         }
 
-        // --- Ideal output distribution and heavy set, via the kernel
-        // engine (fusion is a no-op here; the quad kernel is not).
         circuit::Circuit model(d);
         for (const auto &layer : layers)
             for (const Block &blk : layer)
                 model.add(blk.u, {blk.a, blk.b});
-        const linalg::CVector idealAmps = sim::run(sim::compile(model));
-        std::vector<double> probs(dim);
-        for (std::size_t i = 0; i < dim; ++i)
-            probs[i] = std::norm(idealAmps[i]);
-        std::vector<double> sorted = probs;
-        std::nth_element(sorted.begin(), sorted.begin() + dim / 2,
-                         sorted.end());
-        // Median of 2^d values (even count): mean of the middle pair.
-        const double upper = sorted[dim / 2];
-        const double lower =
-            *std::max_element(sorted.begin(), sorted.begin() + dim / 2);
-        const double median = 0.5 * (upper + lower);
-        std::vector<bool> heavy(dim);
-        for (std::size_t i = 0; i < dim; ++i)
-            heavy[i] = probs[i] > median;
 
         // --- Route onto the device through the shared transpiler pass
         // (SWAP insertion + layout tracking), then attach the device's
@@ -191,8 +217,8 @@ heavyOutputExperiment(const QvConfig &config)
         const CompiledCost swapCost = native.cost(swapPoint);
         for (const circuit::Gate &g : routed.gates()) {
             if (g.label == "swap") {
-                ops.push_back({g.qubits[0], g.qubits[1],
-                               flatten4(g.op), swapCost.nativeGates,
+                ops.push_back({quadOp(g.qubits[0], g.qubits[1], g.op),
+                               swapCost.nativeGates,
                                noise.twoQubitRateFor(swapCost.totalTime /
                                                      swapCost.nativeGates)});
                 swapSum += 1.0;
@@ -202,7 +228,7 @@ heavyOutputExperiment(const QvConfig &config)
             }
             const WeylPoint p = weyl::weylCoordinates(g.op);
             const CompiledCost cost = native.cost(p);
-            ops.push_back({g.qubits[0], g.qubits[1], flatten4(g.op),
+            ops.push_back({quadOp(g.qubits[0], g.qubits[1], g.op),
                            cost.nativeGates,
                            noise.twoQubitRateFor(cost.totalTime /
                                                  cost.nativeGates)});
@@ -221,7 +247,7 @@ heavyOutputExperiment(const QvConfig &config)
         {
             std::vector<bool> used(n, false);
             for (const PhysicalOp &op : ops)
-                used[op.a] = used[op.b] = true;
+                used[op.kernel.q0] = used[op.kernel.q1] = true;
             for (std::size_t l = 0; l < d; ++l)
                 used[layout.physicalOf(l)] = true;
             for (std::size_t pq = 0; pq < n; ++pq)
@@ -234,10 +260,30 @@ heavyOutputExperiment(const QvConfig &config)
                 " physical qubits; statevector simulation supports at "
                 "most 30");
         for (PhysicalOp &op : ops) {
-            op.a = compact[op.a];
-            op.b = compact[op.b];
+            op.kernel.q0 = compact[op.kernel.q0];
+            op.kernel.q1 = compact[op.kernel.q1];
         }
         const std::size_t simDim = std::size_t{1} << nc;
+        ensureRunner(nc);
+
+        // --- Ideal output distribution and heavy set, via the kernel
+        // engine (fusion is a no-op here; the quad kernel is not).
+        const linalg::CVector idealAmps =
+            sim::run(sim::compile(model), idealExec);
+        std::vector<double> probs(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            probs[i] = std::norm(idealAmps[i]);
+        std::vector<double> sorted = probs;
+        std::nth_element(sorted.begin(), sorted.begin() + dim / 2,
+                         sorted.end());
+        // Median of 2^d values (even count): mean of the middle pair.
+        const double upper = sorted[dim / 2];
+        const double lower =
+            *std::max_element(sorted.begin(), sorted.begin() + dim / 2);
+        const double median = 0.5 * (upper + lower);
+        std::vector<bool> heavy(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            heavy[i] = probs[i] > median;
 
         // Compacted basis index -> logical basis index through the
         // final layout (spare qubits marginalize out), shared
@@ -255,25 +301,29 @@ heavyOutputExperiment(const QvConfig &config)
             logicalIndex[phys] = logical;
         }
 
-        // --- Noisy trajectories, fanned out over the pool. Each
-        // trajectory owns a statevector and an RNG stream derived from
-        // (seed, circuit, trajectory).
-        heavySum += sim::sumTrajectories(
-            pool, static_cast<std::size_t>(config.trajectories),
+        // --- Noisy trajectories, fanned out over both parallel axes.
+        // Each trajectory owns a statevector and an RNG stream derived
+        // from (seed, circuit, trajectory); its quad sweeps run on the
+        // leased sweep pool when state-parallelism is on.
+        heavySum += runner->sum(
+            static_cast<std::size_t>(config.trajectories),
             sim::streamSeed(config.seed, circuitStream + 1),
-            [&](std::size_t, linalg::Rng &rng) {
+            [&](std::size_t, linalg::Rng &rng,
+                const sim::ExecOptions &exec) {
                 linalg::CVector amps(simDim, Complex{0.0, 0.0});
                 amps[0] = 1.0;
                 for (const PhysicalOp &op : ops) {
-                    sim::apply2q(amps.data(), nc, op.a, op.b, op.m.data());
+                    sim::executeOp(op.kernel, amps.data(), nc, exec);
+                    const std::size_t qa = op.kernel.q0;
+                    const std::size_t qb = op.kernel.q1;
                     for (int g = 0; g < op.natives; ++g) {
-                        circuit::applyDepolarizing(amps.data(), nc, op.a,
-                                                   op.b, op.p2, rng);
+                        circuit::applyDepolarizing(amps.data(), nc, qa,
+                                                   qb, op.p2, rng);
                         circuit::applyDepolarizing(
-                            amps.data(), nc, op.a,
+                            amps.data(), nc, qa,
                             noise.singleQubitError, rng);
                         circuit::applyDepolarizing(
-                            amps.data(), nc, op.b,
+                            amps.data(), nc, qb,
                             noise.singleQubitError, rng);
                     }
                 }

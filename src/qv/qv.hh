@@ -45,9 +45,20 @@ struct QvConfig
      * Worker threads for the trajectory batch (0 = hardware
      * concurrency). Results are bit-for-bit identical for any value:
      * every trajectory draws from its own seed-derived RNG stream and
-     * the reduction order is fixed.
+     * the reduction order is fixed. Negative values are rejected with
+     * std::invalid_argument.
      */
     int threads = 0;
+    /**
+     * State-parallel sweep workers per trajectory (the second parallel
+     * axis, sim::ExecOptions): 1 = serial sweeps (default), n > 1 = n
+     * sweep workers for each concurrent trajectory, 0 = pick the
+     * trajectory/state split automatically from the circuit width via
+     * sim::planBatch, treating `threads` as the total budget. Results
+     * are bit-for-bit identical for any value; negative values are
+     * rejected with std::invalid_argument.
+     */
+    int stateThreads = 1;
     /**
      * Run against this device instead of the canned grid preset built
      * from (width, native, ashnCutoff, czError, singleQubitError).

@@ -40,12 +40,32 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::runIndex(const std::function<void(std::size_t)> &fn,
+                     std::size_t index)
+{
+    // After a task throws, remaining indices are skipped (not run) so
+    // the batch drains quickly; the first exception wins.
+    if (errored_.load(std::memory_order_relaxed))
+        return;
+    try {
+        fn(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_)
+            error_ = std::current_exception();
+        errored_.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &fn)
 {
     if (count == 0)
         return;
     if (workers_.empty() || count == 1) {
+        // Inline path: the first exception propagates directly and the
+        // remaining indices are skipped, matching the pooled contract.
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
@@ -57,6 +77,8 @@ ThreadPool::parallelFor(std::size_t count,
         jobCount_ = count;
         next_.store(0, std::memory_order_relaxed);
         remaining_ = count;
+        errored_.store(false, std::memory_order_relaxed);
+        error_ = nullptr;
         ++generation_;
     }
     wake_.notify_all();
@@ -66,7 +88,7 @@ ThreadPool::parallelFor(std::size_t count,
         const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= count)
             break;
-        fn(i);
+        runIndex(fn, i);
         std::lock_guard<std::mutex> lock(mutex_);
         if (--remaining_ == 0) {
             done_.notify_all();
@@ -81,6 +103,13 @@ ThreadPool::parallelFor(std::size_t count,
     done_.wait(lock,
                [this] { return remaining_ == 0 && activeWorkers_ == 0; });
     job_ = nullptr;
+    if (error_) {
+        std::exception_ptr first = error_;
+        error_ = nullptr;
+        errored_.store(false, std::memory_order_relaxed);
+        lock.unlock();
+        std::rethrow_exception(first);
+    }
 }
 
 void
@@ -110,7 +139,7 @@ ThreadPool::workerLoop()
                 next_.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 break;
-            (*job)(i);
+            runIndex(*job, i);
             std::lock_guard<std::mutex> lock(mutex_);
             if (--remaining_ == 0)
                 done_.notify_all();
@@ -150,6 +179,141 @@ sumTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
     for (double r : results)
         sum += r;
     return sum;
+}
+
+namespace {
+
+std::size_t
+resolveThreads(std::size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+BatchPlan
+planBatch(std::size_t total_threads, std::size_t width, std::size_t count)
+{
+    // Width bands (see batch.hh): below 18 qubits a sweep is too short
+    // to amortize fork/join, so the trajectory axis takes everything;
+    // from 26 qubits a statevector is ~GiB-scale and only one fits
+    // comfortably, so the sweep axis takes everything; in between, the
+    // number of concurrent statevectors is capped by a per-width memory
+    // budget and spare threads move to the sweep axis.
+    constexpr std::size_t kTrajOnlyBelowWidth = 18;
+    constexpr std::size_t kStateOnlyFromWidth = 26;
+
+    const std::size_t total = resolveThreads(total_threads);
+    if (total == 1 || count == 0)
+        return {1, 1};
+    if (width < kTrajOnlyBelowWidth)
+        return {total, 1};
+    if (width >= kStateOnlyFromWidth)
+        return {1, total};
+    const std::size_t memCap = std::size_t{1}
+                               << (kStateOnlyFromWidth - width);
+    std::size_t limit = total;
+    if (limit > count)
+        limit = count;
+    if (limit > memCap)
+        limit = memCap;
+    if (limit == 0)
+        limit = 1;
+    // Among admissible trajectory counts, prefer the one wasting the
+    // fewest threads to the truncating division (traj = 1 always uses
+    // the whole budget), and the most trajectory slots on a tie — that
+    // axis scales perfectly.
+    std::size_t traj = 1;
+    std::size_t used = total;
+    for (std::size_t t = 2; t <= limit; ++t) {
+        const std::size_t u = t * (total / t);
+        if (u >= used) {
+            used = u;
+            traj = t;
+        }
+    }
+    return {traj, total / traj};
+}
+
+TrajectoryRunner::TrajectoryRunner(std::size_t traj_workers,
+                                   std::size_t state_threads)
+    : trajPool_(traj_workers),
+      stateThreads_(state_threads == 0 ? 1 : state_threads)
+{
+    if (stateThreads_ > 1) {
+        // One sweep pool per trajectory slot, leased to the running
+        // trajectory; at most trajWorkers() lease at once, so
+        // acquireStatePool never starves.
+        statePools_.reserve(trajPool_.size());
+        for (std::size_t i = 0; i < trajPool_.size(); ++i) {
+            statePools_.push_back(
+                std::make_unique<ThreadPool>(stateThreads_));
+            freePools_.push_back(statePools_.back().get());
+        }
+    }
+}
+
+ThreadPool *
+TrajectoryRunner::acquireStatePool()
+{
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    poolAvailable_.wait(lock, [this] { return !freePools_.empty(); });
+    ThreadPool *pool = freePools_.back();
+    freePools_.pop_back();
+    return pool;
+}
+
+void
+TrajectoryRunner::releaseStatePool(ThreadPool *pool)
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        freePools_.push_back(pool);
+    }
+    poolAvailable_.notify_one();
+}
+
+std::vector<double>
+TrajectoryRunner::run(std::size_t count, std::uint64_t base_seed,
+                      const Body &body)
+{
+    if (count == 0)
+        return {};
+    std::vector<double> results(count, 0.0);
+    trajPool_.parallelFor(count, [&](std::size_t t) {
+        linalg::Rng rng(streamSeed(base_seed, t));
+        ExecOptions exec;
+        ThreadPool *state = nullptr;
+        if (stateThreads_ > 1) {
+            state = acquireStatePool();
+            exec.pool = state;
+            exec.threads = state->size();
+        }
+        try {
+            results[t] = body(t, rng, exec);
+        } catch (...) {
+            if (state != nullptr)
+                releaseStatePool(state);
+            throw;
+        }
+        if (state != nullptr)
+            releaseStatePool(state);
+    });
+    return results;
+}
+
+double
+TrajectoryRunner::sum(std::size_t count, std::uint64_t base_seed,
+                      const Body &body)
+{
+    const std::vector<double> results = run(count, base_seed, body);
+    double total = 0.0;
+    for (double r : results)
+        total += r;
+    return total;
 }
 
 } // namespace sim

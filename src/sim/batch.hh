@@ -11,6 +11,15 @@
  *   - per-trajectory results land in an indexed slot and are reduced
  *     sequentially afterwards, so floating-point summation order is
  *     fixed regardless of thread count (including 1).
+ *
+ * Trajectories are one of two orthogonal parallel axes. The other —
+ * state-parallel kernel sweeps, where one statevector's amplitude
+ * groups are partitioned over a pool (engine.hh) — is configured by
+ * ExecOptions, and TrajectoryRunner / planBatch combine the two: small
+ * registers go trajectory-parallel, very wide registers state-parallel,
+ * and the band in between hybrid (a few concurrent trajectories, each
+ * sweeping with its own slice of the thread budget). Every combination
+ * is bit-for-bit identical to the serial run.
  */
 
 #ifndef CRISC_SIM_BATCH_HH
@@ -19,7 +28,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,13 +67,19 @@ class ThreadPool
 
     /**
      * Runs fn(0) .. fn(count - 1), distributing indices over the pool.
-     * Blocks until every index has completed. fn must not throw.
+     * Blocks until every index has completed. If fn throws, the first
+     * exception is captured, indices not yet started are skipped, the
+     * batch drains (no worker is left inside fn), and the exception is
+     * rethrown here on the calling thread; the pool stays serviceable
+     * for subsequent batches.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);
 
   private:
     void workerLoop();
+    void runIndex(const std::function<void(std::size_t)> &fn,
+                  std::size_t index);
 
     std::size_t nThreads_;
     std::vector<std::thread> workers_;
@@ -77,6 +94,107 @@ class ThreadPool
     std::atomic<std::size_t> next_{0};
     std::size_t remaining_ = 0;
     std::size_t activeWorkers_ = 0;
+    std::atomic<bool> errored_{false};
+    std::exception_ptr error_; ///< first task exception; under mutex_.
+};
+
+/**
+ * Options for state-parallel kernel sweep execution (engine.hh): how
+ * one statevector's amplitude-group axis is partitioned over threads.
+ * Defaults mean serial sweeps.
+ */
+struct ExecOptions
+{
+    /**
+     * Sweep worker threads; 1 = serial, 0 = hardware concurrency. Used
+     * by Plan execution to size a transient pool when no pool is given;
+     * ignored when pool is set (the pool's size wins).
+     */
+    std::size_t threads = 1;
+    /**
+     * Amplitude groups (pairs / quads / dense tuples) per parallel
+     * task; 0 = auto (targets a few tasks per thread). Rounded up to a
+     * cache-line- and SIMD-aligned granule; results are bit-identical
+     * for every value.
+     */
+    std::size_t chunk = 0;
+    /**
+     * Pool to run sweeps on (not owned). Sweeps are parallel only when
+     * this is set with size() > 1 — except in Plan-level execute(),
+     * which creates a transient pool from `threads` when unset.
+     */
+    ThreadPool *pool = nullptr;
+};
+
+/**
+ * How a thread budget is split across the two parallel axes:
+ * trajWorkers concurrent trajectories, each sweeping its statevector
+ * with stateThreads workers.
+ */
+struct BatchPlan
+{
+    std::size_t trajWorkers = 1;
+    std::size_t stateThreads = 1;
+};
+
+/**
+ * Width heuristic choosing trajectory-parallel vs. state-parallel vs.
+ * hybrid execution for @p count trajectories of a @p width qubit
+ * register, given @p total_threads workers (0 = hardware concurrency).
+ * Narrow registers (< 18 qubits) go trajectory-parallel (sweeps are too
+ * short to amortize the fork/join), very wide ones (>= 26 qubits,
+ * ~GiB statevectors) fully state-parallel, and the band in between
+ * hybrid: concurrent statevectors are capped by a per-width memory
+ * budget of 2^(26 - width), and the split maximizes used threads, so
+ * spare budget moves to the sweep axis when trajectories are scarce.
+ * The choice never affects results, only scheduling.
+ */
+BatchPlan planBatch(std::size_t total_threads, std::size_t width,
+                    std::size_t count);
+
+/**
+ * Trajectory batch driver owning both parallel axes: a trajectory pool
+ * of trajWorkers slots and, when stateThreads > 1, one sweep pool per
+ * slot, leased to the running trajectory through the ExecOptions its
+ * body receives. Results are index-ordered and bit-for-bit identical
+ * for every (trajWorkers, stateThreads) combination.
+ */
+class TrajectoryRunner
+{
+  public:
+    /** Body form receiving sweep-execution options for this slot. */
+    using Body =
+        std::function<double(std::size_t, linalg::Rng &, const ExecOptions &)>;
+
+    /**
+     * @param traj_workers concurrent trajectories (0 = hardware).
+     * @param state_threads sweep workers per trajectory (0 or 1 =
+     *        serial sweeps).
+     */
+    explicit TrajectoryRunner(std::size_t traj_workers,
+                              std::size_t state_threads = 1);
+
+    std::size_t trajWorkers() const { return trajPool_.size(); }
+    std::size_t stateThreads() const { return stateThreads_; }
+
+    /** runTrajectories over both axes; same determinism contract. */
+    std::vector<double> run(std::size_t count, std::uint64_t base_seed,
+                            const Body &body);
+
+    /** run followed by a fixed-order sum. */
+    double sum(std::size_t count, std::uint64_t base_seed,
+               const Body &body);
+
+  private:
+    ThreadPool *acquireStatePool();
+    void releaseStatePool(ThreadPool *pool);
+
+    ThreadPool trajPool_;
+    std::size_t stateThreads_;
+    std::vector<std::unique_ptr<ThreadPool>> statePools_;
+    std::mutex poolMutex_;
+    std::condition_variable poolAvailable_;
+    std::vector<ThreadPool *> freePools_;
 };
 
 /**

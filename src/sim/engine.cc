@@ -231,11 +231,134 @@ executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits)
     throw std::logic_error("executeOp: unknown kernel kind");
 }
 
+std::size_t
+opGroupCount(const KernelOp &op, std::size_t n_qubits)
+{
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    switch (op.kind) {
+      case KernelKind::OneQ:
+      case KernelKind::OneQDiag:
+        return dim >> 1;
+      case KernelKind::TwoQ:
+      case KernelKind::TwoQDiag:
+        return dim >> 2;
+      case KernelKind::Dense:
+        return dim >> op.qubits.size();
+    }
+    throw std::logic_error("opGroupCount: unknown kernel kind");
+}
+
+void
+executeOpRange(const KernelOp &op, Complex *amps, std::size_t n_qubits,
+               std::size_t group_begin, std::size_t group_end)
+{
+    switch (op.kind) {
+      case KernelKind::OneQ:
+        apply1qRange(amps, n_qubits, op.q0, op.m.data(), group_begin,
+                     group_end);
+        return;
+      case KernelKind::OneQDiag:
+        apply1qDiagRange(amps, n_qubits, op.q0, op.m[0], op.m[1],
+                         group_begin, group_end);
+        return;
+      case KernelKind::TwoQ:
+        apply2qRange(amps, n_qubits, op.q0, op.q1, op.m.data(),
+                     group_begin, group_end);
+        return;
+      case KernelKind::TwoQDiag:
+        apply2qDiagRange(amps, n_qubits, op.q0, op.q1, op.m.data(),
+                         group_begin, group_end);
+        return;
+      case KernelKind::Dense:
+        applyDenseRange(amps, n_qubits, op.dense, op.qubits, group_begin,
+                        group_end);
+        return;
+    }
+    throw std::logic_error("executeOpRange: unknown kernel kind");
+}
+
+namespace {
+
+/**
+ * Chunk-boundary granule, in groups. 64 groups keep every chunk
+ * boundary cache-line-aligned in amplitude space (a pair/quad group's
+ * contiguous sub-runs start at multiples of the granule times the run
+ * stride, and 64 x 16 B covers a 64 B line at every stride) and a
+ * whole SIMD vector wide.
+ */
+constexpr std::size_t kChunkGranule = 64;
+
+/** Below this many groups a sweep stays serial: fork/join overhead
+ *  (~µs) would rival the sweep itself. */
+constexpr std::size_t kMinParallelGroups = 1024;
+
+/** Tasks per worker the auto chunk size aims for (load balance vs.
+ *  scheduling overhead). */
+constexpr std::size_t kTasksPerThread = 4;
+
+std::size_t
+chunkFor(std::size_t groups, std::size_t workers, std::size_t requested)
+{
+    std::size_t chunk = requested;
+    if (chunk == 0)
+        chunk = groups / (workers * kTasksPerThread);
+    if (chunk < kChunkGranule)
+        chunk = kChunkGranule;
+    return (chunk + kChunkGranule - 1) / kChunkGranule * kChunkGranule;
+}
+
+} // namespace
+
+void
+executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits,
+          const ExecOptions &opts)
+{
+    ThreadPool *pool = opts.pool;
+    const std::size_t groups = opGroupCount(op, n_qubits);
+    if (pool == nullptr || pool->size() <= 1 ||
+        groups < kMinParallelGroups) {
+        executeOp(op, amps, n_qubits);
+        return;
+    }
+    const std::size_t chunk = chunkFor(groups, pool->size(), opts.chunk);
+    const std::size_t tasks = (groups + chunk - 1) / chunk;
+    pool->parallelFor(tasks, [&](std::size_t t) {
+        const std::size_t g0 = t * chunk;
+        const std::size_t g1 = g0 + chunk < groups ? g0 + chunk : groups;
+        executeOpRange(op, amps, n_qubits, g0, g1);
+    });
+}
+
 void
 execute(const Plan &plan, Complex *amps)
 {
     for (const KernelOp &op : plan.ops())
         executeOp(op, amps, plan.numQubits());
+}
+
+void
+execute(const Plan &plan, Complex *amps, const ExecOptions &opts)
+{
+    if (opts.pool == nullptr && opts.threads == 1) {
+        execute(plan, amps);
+        return;
+    }
+    // One transient pool serves every sweep of this execution when the
+    // caller did not provide one (opts.threads == 0 = hardware).
+    std::optional<ThreadPool> transient;
+    ExecOptions resolved = opts;
+    if (resolved.pool == nullptr) {
+        transient.emplace(opts.threads);
+        resolved.pool = &*transient;
+    }
+    for (const KernelOp &op : plan.ops())
+        executeOp(op, amps, plan.numQubits(), resolved);
+}
+
+void
+Plan::execute(Complex *amps, const ExecOptions &opts) const
+{
+    sim::execute(*this, amps, opts);
 }
 
 linalg::CVector
@@ -244,6 +367,15 @@ run(const Plan &plan)
     linalg::CVector amps(plan.dim(), Complex{0.0, 0.0});
     amps[0] = 1.0;
     execute(plan, amps.data());
+    return amps;
+}
+
+linalg::CVector
+run(const Plan &plan, const ExecOptions &opts)
+{
+    linalg::CVector amps(plan.dim(), Complex{0.0, 0.0});
+    amps[0] = 1.0;
+    execute(plan, amps.data(), opts);
     return amps;
 }
 

@@ -18,6 +18,15 @@
  * A Plan is immutable after compile() and safe to execute from many
  * threads at once on distinct statevectors, which is what the
  * trajectory batch runner (batch.hh) does.
+ *
+ * Execution itself offers a second, orthogonal parallel axis: with
+ * ExecOptions (batch.hh), each kernel sweep partitions its amplitude-
+ * group index space (pairs / quads / dense tuples — a group is never
+ * split, so chunks touch disjoint amplitudes) into cache-line-aligned
+ * chunks executed on a sim::ThreadPool. Chunked sweeps replay the
+ * serial per-amplitude operation sequence exactly, so state-parallel
+ * execution is bit-identical to the serial and SIMD-serial backends
+ * for any thread count and chunk size.
  */
 
 #ifndef CRISC_SIM_ENGINE_HH
@@ -28,6 +37,7 @@
 #include <vector>
 
 #include "circuit/circuit.hh"
+#include "sim/batch.hh"
 #include "sim/kernels.hh"
 
 namespace crisc {
@@ -94,6 +104,12 @@ class Plan
     const std::vector<KernelOp> &ops() const { return ops_; }
     const PlanStats &stats() const { return stats_; }
 
+    /**
+     * Executes the plan in place on a 2^n statevector, state-parallel
+     * per @p opts (serial by default; bit-identical either way).
+     */
+    void execute(Complex *amps, const ExecOptions &opts = {}) const;
+
   private:
     std::size_t nQubits_;
     std::vector<KernelOp> ops_;
@@ -106,11 +122,42 @@ Plan compile(const circuit::Circuit &c, const CompileOptions &opts = {});
 /** Executes one lowered operation in place. */
 void executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits);
 
+/**
+ * Executes one lowered operation, partitioning its sweep over
+ * opts.pool (see ExecOptions). Serial — identical to the two-argument
+ * form — when no pool is set, the pool has one thread, or the sweep is
+ * too small to be worth forking.
+ */
+void executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits,
+               const ExecOptions &opts);
+
+/**
+ * Executes the sub-range [group_begin, group_end) of one operation's
+ * amplitude-group sweep (pairs for 1q, quads for 2q, 2^k-tuples for
+ * dense); the parallel substrate, exported for the equivalence tests.
+ */
+void executeOpRange(const KernelOp &op, Complex *amps,
+                    std::size_t n_qubits, std::size_t group_begin,
+                    std::size_t group_end);
+
+/** Amplitude groups in @p op's sweep on an n-qubit register. */
+std::size_t opGroupCount(const KernelOp &op, std::size_t n_qubits);
+
 /** Executes a plan in place on a 2^n statevector. */
 void execute(const Plan &plan, Complex *amps);
 
+/**
+ * Executes a plan in place, running each kernel sweep state-parallel
+ * per @p opts. When opts.pool is unset and opts.threads > 1, one
+ * transient pool serves the whole plan execution.
+ */
+void execute(const Plan &plan, Complex *amps, const ExecOptions &opts);
+
 /** Executes a plan on |0...0> and returns the resulting statevector. */
 linalg::CVector run(const Plan &plan);
+
+/** run with state-parallel sweeps per @p opts. */
+linalg::CVector run(const Plan &plan, const ExecOptions &opts);
 
 } // namespace sim
 } // namespace crisc

@@ -1,5 +1,6 @@
 #include "kernels.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sim/simd.hh"
@@ -156,6 +157,92 @@ apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
     const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
 
     for (std::size_t g = 0; g < dim >> 2; ++g) {
+        const std::size_t base =
+            insertZeroBit(insertZeroBit(g, first), second);
+        amps[base] *= d[0];
+        amps[base | m_lo] *= d[1];
+        amps[base | m_hi] *= d[2];
+        amps[base | m_hi | m_lo] *= d[3];
+    }
+}
+
+// Range forms: identical per-pair/per-quad arithmetic, with the group
+// counter mapped to its base index directly (pair p of the qubit's
+// sweep is the p-th pair in ascending memory order, ditto quads).
+
+void
+apply1qRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+             const Complex m[4], std::size_t pair_begin,
+             std::size_t pair_end)
+{
+    const std::size_t pos = n_qubits - 1 - qubit;
+    const std::size_t stride = std::size_t{1} << pos;
+    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+    for (std::size_t p = pair_begin; p < pair_end; ++p) {
+        const std::size_t i = insertZeroBit(p, pos);
+        const Complex a0 = amps[i];
+        const Complex a1 = amps[i + stride];
+        amps[i] = m00 * a0 + m01 * a1;
+        amps[i + stride] = m10 * a0 + m11 * a1;
+    }
+}
+
+void
+apply1qDiagRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                 Complex d0, Complex d1, std::size_t pair_begin,
+                 std::size_t pair_end)
+{
+    const std::size_t pos = n_qubits - 1 - qubit;
+    const std::size_t stride = std::size_t{1} << pos;
+    for (std::size_t p = pair_begin; p < pair_end; ++p) {
+        const std::size_t i = insertZeroBit(p, pos);
+        amps[i] *= d0;
+        amps[i + stride] *= d1;
+    }
+}
+
+void
+apply2qRange(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+             std::size_t q_lo, const Complex m[16],
+             std::size_t quad_begin, std::size_t quad_end)
+{
+    const std::size_t p_hi = n_qubits - 1 - q_hi;
+    const std::size_t p_lo = n_qubits - 1 - q_lo;
+    const std::size_t m_hi = std::size_t{1} << p_hi;
+    const std::size_t m_lo = std::size_t{1} << p_lo;
+    const std::size_t first = p_hi < p_lo ? p_hi : p_lo;
+    const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
+
+    for (std::size_t g = quad_begin; g < quad_end; ++g) {
+        const std::size_t base =
+            insertZeroBit(insertZeroBit(g, first), second);
+        const std::size_t i1 = base | m_lo;
+        const std::size_t i2 = base | m_hi;
+        const std::size_t i3 = base | m_hi | m_lo;
+        const Complex a0 = amps[base];
+        const Complex a1 = amps[i1];
+        const Complex a2 = amps[i2];
+        const Complex a3 = amps[i3];
+        amps[base] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+        amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+        amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+        amps[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+    }
+}
+
+void
+apply2qDiagRange(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+                 std::size_t q_lo, const Complex d[4],
+                 std::size_t quad_begin, std::size_t quad_end)
+{
+    const std::size_t p_hi = n_qubits - 1 - q_hi;
+    const std::size_t p_lo = n_qubits - 1 - q_lo;
+    const std::size_t m_hi = std::size_t{1} << p_hi;
+    const std::size_t m_lo = std::size_t{1} << p_lo;
+    const std::size_t first = p_hi < p_lo ? p_hi : p_lo;
+    const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
+
+    for (std::size_t g = quad_begin; g < quad_end; ++g) {
         const std::size_t base =
             insertZeroBit(insertZeroBit(g, first), second);
         amps[base] *= d[0];
@@ -370,27 +457,231 @@ apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
     }
 }
 
+// ---------------------------------------------------------------------
+// Group-range kernels (see kernels.hh): the same SIMD dispatch as the
+// full kernels, applied to one sub-interval of the group index space.
+// A range decomposes into whole contiguous stride runs plus partial
+// runs at its ends; within a run the base index advances with the
+// group counter, so the vector body applies unchanged and partial-
+// vector tails fall back to the scalar per-group body. Both bodies
+// perform the identical per-amplitude IEEE operation sequence, so any
+// partition reassembles the serial sweep bit for bit.
+// ---------------------------------------------------------------------
+
 void
-applyDense(Complex *amps, std::size_t n_qubits, const Matrix &op,
-           const std::vector<std::size_t> &qubits)
+apply1qRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+             const Complex m[4], std::size_t pair_begin,
+             std::size_t pair_end)
+{
+    const std::size_t pos = n_qubits - 1 - qubit;
+    const std::size_t stride = std::size_t{1} << pos;
+    if (stride < simd::kLanes) {
+        scalar::apply1qRange(amps, n_qubits, qubit, m, pair_begin,
+                             pair_end);
+        return;
+    }
+    const simd::CVec m00 = simd::broadcast(m[0]);
+    const simd::CVec m01 = simd::broadcast(m[1]);
+    const simd::CVec m10 = simd::broadcast(m[2]);
+    const simd::CVec m11 = simd::broadcast(m[3]);
+    std::size_t p = pair_begin;
+    while (p < pair_end) {
+        // Pairs [p, runEnd) share one contiguous stride run.
+        const std::size_t runEnd =
+            std::min(pair_end, (p & ~(stride - 1)) + stride);
+        std::size_t i = insertZeroBit(p, pos);
+        for (; p + simd::kLanes <= runEnd;
+             p += simd::kLanes, i += simd::kLanes) {
+            const simd::CVec a0 = simd::loadc(amps + i);
+            const simd::CVec a1 = simd::loadc(amps + i + stride);
+            simd::storec(amps + i,
+                         simd::add(simd::mul(m00, a0), simd::mul(m01, a1)));
+            simd::storec(amps + i + stride,
+                         simd::add(simd::mul(m10, a0), simd::mul(m11, a1)));
+        }
+        for (; p < runEnd; ++p, ++i) {
+            const Complex a0 = amps[i];
+            const Complex a1 = amps[i + stride];
+            amps[i] = m[0] * a0 + m[1] * a1;
+            amps[i + stride] = m[2] * a0 + m[3] * a1;
+        }
+    }
+}
+
+void
+apply1qDiagRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                 Complex d0, Complex d1, std::size_t pair_begin,
+                 std::size_t pair_end)
+{
+    const std::size_t pos = n_qubits - 1 - qubit;
+    const std::size_t stride = std::size_t{1} << pos;
+    if (stride < simd::kLanes) {
+        scalar::apply1qDiagRange(amps, n_qubits, qubit, d0, d1, pair_begin,
+                                 pair_end);
+        return;
+    }
+    const simd::CVec v0 = simd::broadcast(d0);
+    const simd::CVec v1 = simd::broadcast(d1);
+    std::size_t p = pair_begin;
+    while (p < pair_end) {
+        const std::size_t runEnd =
+            std::min(pair_end, (p & ~(stride - 1)) + stride);
+        std::size_t i = insertZeroBit(p, pos);
+        for (; p + simd::kLanes <= runEnd;
+             p += simd::kLanes, i += simd::kLanes) {
+            simd::storec(amps + i, simd::mul(simd::loadc(amps + i), v0));
+            simd::storec(amps + i + stride,
+                         simd::mul(simd::loadc(amps + i + stride), v1));
+        }
+        for (; p < runEnd; ++p, ++i) {
+            amps[i] *= d0;
+            amps[i + stride] *= d1;
+        }
+    }
+}
+
+void
+apply2qRange(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+             std::size_t q_lo, const Complex m[16],
+             std::size_t quad_begin, std::size_t quad_end)
+{
+    const std::size_t p_hi = n_qubits - 1 - q_hi;
+    const std::size_t p_lo = n_qubits - 1 - q_lo;
+    const std::size_t m_hi = std::size_t{1} << p_hi;
+    const std::size_t m_lo = std::size_t{1} << p_lo;
+    const std::size_t first = p_hi < p_lo ? p_hi : p_lo;
+    const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
+    const std::size_t s1 = std::size_t{1} << first;
+    if (s1 < simd::kLanes) {
+        scalar::apply2qRange(amps, n_qubits, q_hi, q_lo, m, quad_begin,
+                             quad_end);
+        return;
+    }
+    simd::CVec mv[16];
+    for (std::size_t i = 0; i < 16; ++i)
+        mv[i] = simd::broadcast(m[i]);
+    std::size_t g = quad_begin;
+    while (g < quad_end) {
+        // Quads [g, runEnd) share one contiguous run of s1 bases.
+        const std::size_t runEnd =
+            std::min(quad_end, (g & ~(s1 - 1)) + s1);
+        std::size_t base = insertZeroBit(insertZeroBit(g, first), second);
+        for (; g + simd::kLanes <= runEnd;
+             g += simd::kLanes, base += simd::kLanes) {
+            const simd::CVec a0 = simd::loadc(amps + base);
+            const simd::CVec a1 = simd::loadc(amps + base + m_lo);
+            const simd::CVec a2 = simd::loadc(amps + base + m_hi);
+            const simd::CVec a3 = simd::loadc(amps + base + m_hi + m_lo);
+            simd::storec(
+                amps + base,
+                simd::add(simd::add(simd::add(simd::mul(mv[0], a0),
+                                              simd::mul(mv[1], a1)),
+                                    simd::mul(mv[2], a2)),
+                          simd::mul(mv[3], a3)));
+            simd::storec(
+                amps + base + m_lo,
+                simd::add(simd::add(simd::add(simd::mul(mv[4], a0),
+                                              simd::mul(mv[5], a1)),
+                                    simd::mul(mv[6], a2)),
+                          simd::mul(mv[7], a3)));
+            simd::storec(
+                amps + base + m_hi,
+                simd::add(simd::add(simd::add(simd::mul(mv[8], a0),
+                                              simd::mul(mv[9], a1)),
+                                    simd::mul(mv[10], a2)),
+                          simd::mul(mv[11], a3)));
+            simd::storec(
+                amps + base + m_hi + m_lo,
+                simd::add(simd::add(simd::add(simd::mul(mv[12], a0),
+                                              simd::mul(mv[13], a1)),
+                                    simd::mul(mv[14], a2)),
+                          simd::mul(mv[15], a3)));
+        }
+        for (; g < runEnd; ++g, ++base) {
+            const std::size_t i1 = base | m_lo;
+            const std::size_t i2 = base | m_hi;
+            const std::size_t i3 = base | m_hi | m_lo;
+            const Complex a0 = amps[base];
+            const Complex a1 = amps[i1];
+            const Complex a2 = amps[i2];
+            const Complex a3 = amps[i3];
+            amps[base] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+            amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+            amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+            amps[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+        }
+    }
+}
+
+void
+apply2qDiagRange(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+                 std::size_t q_lo, const Complex d[4],
+                 std::size_t quad_begin, std::size_t quad_end)
+{
+    const std::size_t p_hi = n_qubits - 1 - q_hi;
+    const std::size_t p_lo = n_qubits - 1 - q_lo;
+    const std::size_t m_hi = std::size_t{1} << p_hi;
+    const std::size_t m_lo = std::size_t{1} << p_lo;
+    const std::size_t first = p_hi < p_lo ? p_hi : p_lo;
+    const std::size_t second = p_hi < p_lo ? p_lo : p_hi;
+    const std::size_t s1 = std::size_t{1} << first;
+    if (s1 < simd::kLanes) {
+        scalar::apply2qDiagRange(amps, n_qubits, q_hi, q_lo, d, quad_begin,
+                                 quad_end);
+        return;
+    }
+    const simd::CVec d0 = simd::broadcast(d[0]);
+    const simd::CVec d1 = simd::broadcast(d[1]);
+    const simd::CVec d2 = simd::broadcast(d[2]);
+    const simd::CVec d3 = simd::broadcast(d[3]);
+    std::size_t g = quad_begin;
+    while (g < quad_end) {
+        const std::size_t runEnd =
+            std::min(quad_end, (g & ~(s1 - 1)) + s1);
+        std::size_t base = insertZeroBit(insertZeroBit(g, first), second);
+        for (; g + simd::kLanes <= runEnd;
+             g += simd::kLanes, base += simd::kLanes) {
+            simd::storec(amps + base,
+                         simd::mul(simd::loadc(amps + base), d0));
+            simd::storec(amps + base + m_lo,
+                         simd::mul(simd::loadc(amps + base + m_lo), d1));
+            simd::storec(amps + base + m_hi,
+                         simd::mul(simd::loadc(amps + base + m_hi), d2));
+            simd::storec(
+                amps + base + m_hi + m_lo,
+                simd::mul(simd::loadc(amps + base + m_hi + m_lo), d3));
+        }
+        for (; g < runEnd; ++g, ++base) {
+            amps[base] *= d[0];
+            amps[base | m_lo] *= d[1];
+            amps[base | m_hi] *= d[2];
+            amps[base | m_hi | m_lo] *= d[3];
+        }
+    }
+}
+
+void
+applyDenseRange(Complex *amps, std::size_t n_qubits, const Matrix &op,
+                const std::vector<std::size_t> &qubits,
+                std::size_t group_begin, std::size_t group_end)
 {
     const std::size_t k = qubits.size();
     const std::size_t gdim = std::size_t{1} << k;
-    const std::size_t dim = std::size_t{1} << n_qubits;
 
     std::vector<std::size_t> pos(k);
     for (std::size_t b = 0; b < k; ++b)
         pos[b] = n_qubits - 1 - qubits[b];
-
-    std::size_t mask = 0;
-    for (std::size_t p : pos)
-        mask |= std::size_t{1} << p;
+    // Expanding the group counter through ascending bit positions
+    // yields the group's all-zeros base; bases ascend with the counter.
+    std::vector<std::size_t> sorted = pos;
+    std::sort(sorted.begin(), sorted.end());
 
     std::vector<Complex> in(gdim), out(gdim);
     std::vector<std::size_t> idx(gdim);
-    for (std::size_t base = 0; base < dim; ++base) {
-        if (base & mask)
-            continue; // visit each group once, at its all-zeros member
+    for (std::size_t grp = group_begin; grp < group_end; ++grp) {
+        std::size_t base = grp;
+        for (std::size_t p : sorted)
+            base = insertZeroBit(base, p);
         for (std::size_t g = 0; g < gdim; ++g) {
             std::size_t address = base;
             for (std::size_t b = 0; b < k; ++b)
@@ -408,6 +699,16 @@ applyDense(Complex *amps, std::size_t n_qubits, const Matrix &op,
         for (std::size_t g = 0; g < gdim; ++g)
             amps[idx[g]] = out[g];
     }
+}
+
+void
+applyDense(Complex *amps, std::size_t n_qubits, const Matrix &op,
+           const std::vector<std::size_t> &qubits)
+{
+    // Same visit order and per-group arithmetic as the historical
+    // skip-scan loop, but enumerating groups directly.
+    applyDenseRange(amps, n_qubits, op, qubits, 0,
+                    (std::size_t{1} << n_qubits) >> qubits.size());
 }
 
 void

@@ -18,6 +18,16 @@
  * this equivalence, and benchmarks report the speedup against the
  * sim::scalar baseline.
  *
+ * Every kernel sweep enumerates an independent *group* per iteration —
+ * an amplitude pair (1q), quad (2q), or 2^k-tuple (dense) — and groups
+ * never share amplitudes, so a sweep partitions freely along the group
+ * axis. The *Range variants below execute one sub-interval [g0, g2) of
+ * that group index space with the exact per-amplitude operation
+ * sequence of the full kernels: any partition of [0, groups)
+ * reassembles the full sweep bit for bit, which is what the state-
+ * parallel execution path in engine.hh relies on (a group is never
+ * split across chunks, so no two chunks touch the same amplitude).
+ *
  * Conventions match the rest of the library: qubit 0 is the most
  * significant bit of a basis index, and a k-qubit operator's basis is
  * |q[0] q[1] ... q[k-1]> with q[0] the most significant gate qubit.
@@ -66,6 +76,24 @@ void apply2q(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
 void apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
                  std::size_t q_lo, const Complex d[4]);
 
+/** Pair-range form of apply1q: pairs [pair_begin, pair_end). */
+void apply1qRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                  const Complex m[4], std::size_t pair_begin,
+                  std::size_t pair_end);
+/** Pair-range form of apply1qDiag. */
+void apply1qDiagRange(Complex *amps, std::size_t n_qubits,
+                      std::size_t qubit, Complex d0, Complex d1,
+                      std::size_t pair_begin, std::size_t pair_end);
+/** Quad-range form of apply2q: quads [quad_begin, quad_end). */
+void apply2qRange(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+                  std::size_t q_lo, const Complex m[16],
+                  std::size_t quad_begin, std::size_t quad_end);
+/** Quad-range form of apply2qDiag. */
+void apply2qDiagRange(Complex *amps, std::size_t n_qubits,
+                      std::size_t q_hi, std::size_t q_lo,
+                      const Complex d[4], std::size_t quad_begin,
+                      std::size_t quad_end);
+
 } // namespace scalar
 
 /** Applies a 2x2 gate m (row-major m[0..3]) to one qubit in place. */
@@ -102,6 +130,47 @@ void apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
  */
 void applyDense(Complex *amps, std::size_t n_qubits, const Matrix &op,
                 const std::vector<std::size_t> &qubits);
+
+// ---------------------------------------------------------------------
+// Group-range kernels: the state-parallel execution substrate. Each
+// runs the sub-interval [g0, g1) of the sweep's group index space —
+// pairs for 1q, quads for 2q, 2^k-tuples for dense — with the same
+// per-amplitude operation sequence as the full kernel, so the full
+// sweep over any partition of [0, groups) is bit-identical to the
+// serial kernel. Group g addresses the g-th pair/quad/tuple in
+// ascending base-index order; a group is never split, so disjoint
+// ranges touch disjoint amplitudes.
+// ---------------------------------------------------------------------
+
+/** apply1q restricted to amplitude pairs [pair_begin, pair_end). */
+void apply1qRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
+                  const Complex m[4], std::size_t pair_begin,
+                  std::size_t pair_end);
+
+/** apply1qDiag restricted to amplitude pairs [pair_begin, pair_end). */
+void apply1qDiagRange(Complex *amps, std::size_t n_qubits,
+                      std::size_t qubit, Complex d0, Complex d1,
+                      std::size_t pair_begin, std::size_t pair_end);
+
+/** apply2q restricted to amplitude quads [quad_begin, quad_end). */
+void apply2qRange(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
+                  std::size_t q_lo, const Complex m[16],
+                  std::size_t quad_begin, std::size_t quad_end);
+
+/** apply2qDiag restricted to amplitude quads [quad_begin, quad_end). */
+void apply2qDiagRange(Complex *amps, std::size_t n_qubits,
+                      std::size_t q_hi, std::size_t q_lo,
+                      const Complex d[4], std::size_t quad_begin,
+                      std::size_t quad_end);
+
+/**
+ * applyDense restricted to groups [group_begin, group_end) of the
+ * dim >> k amplitude groups, in the same ascending-base order the full
+ * kernel visits them.
+ */
+void applyDenseRange(Complex *amps, std::size_t n_qubits, const Matrix &op,
+                     const std::vector<std::size_t> &qubits,
+                     std::size_t group_begin, std::size_t group_end);
 
 /**
  * True when every off-diagonal entry of the square matrix is exactly

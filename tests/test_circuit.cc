@@ -4,6 +4,7 @@
  */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -123,6 +124,50 @@ TEST(Noise, DepolarizingDamagesFidelityAtExpectedRate)
     // the 3 stabilizers (XX, -YY, ZZ) leave it invariant.
     const double expected = p * 12.0 / 15.0;
     EXPECT_NEAR(static_cast<double>(hits) / trials, expected, 0.03);
+}
+
+TEST(Noise, RejectsOutOfRangeErrorParameter)
+{
+    // p outside [0, 1] (or NaN) is not a depolarizing channel; every
+    // overload must reject it instead of silently sampling with it.
+    linalg::Rng rng(13);
+    State s(2);
+    linalg::CVector raw = s.amplitudes();
+    for (const double p : {-0.25, 1.5,
+                           std::numeric_limits<double>::quiet_NaN()}) {
+        EXPECT_THROW(circuit::applyDepolarizing(s, {0, 1}, p, rng),
+                     std::invalid_argument);
+        EXPECT_THROW(circuit::applyDepolarizing(raw.data(), 2, {0, 1}, p,
+                                                rng),
+                     std::invalid_argument);
+        EXPECT_THROW(circuit::applyDepolarizing(raw.data(), 2,
+                                                std::size_t{0}, p, rng),
+                     std::invalid_argument);
+        EXPECT_THROW(circuit::applyDepolarizing(raw.data(), 2,
+                                                std::size_t{0},
+                                                std::size_t{1}, p, rng),
+                     std::invalid_argument);
+    }
+    // The boundaries themselves are valid.
+    circuit::applyDepolarizing(s, {0, 1}, 0.0, rng);
+    circuit::applyDepolarizing(s, {0, 1}, 1.0, rng);
+}
+
+TEST(Noise, RejectsDuplicateQubits)
+{
+    // A repeated qubit would compose two Paulis on one wire and sample
+    // a different (non-depolarizing) channel; reject it up front.
+    linalg::Rng rng(17);
+    State s(3);
+    linalg::CVector raw = s.amplitudes();
+    EXPECT_THROW(circuit::applyDepolarizing(s, {1, 1}, 0.5, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::applyDepolarizing(raw.data(), 3, {0, 2, 0}, 0.5,
+                                            rng),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::applyDepolarizing(raw.data(), 3, std::size_t{2},
+                                            std::size_t{2}, 0.5, rng),
+                 std::invalid_argument);
 }
 
 TEST(Noise, PauliIndexing)

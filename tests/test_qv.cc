@@ -152,6 +152,45 @@ TEST(Qv, AshnBeatsCzAtEqualErrorRate)
     EXPECT_GT(ashn, czv + 0.02);
 }
 
+TEST(Qv, RejectsNegativeThreadCounts)
+{
+    // Regression: threads < 0 used to be silently clamped to 1; both
+    // thread knobs now fail validation like every other bad config.
+    qv::QvConfig cfg;
+    cfg.width = 3;
+    cfg.circuits = 1;
+    cfg.trajectories = 1;
+    cfg.threads = -1;
+    EXPECT_THROW(qv::heavyOutputExperiment(cfg), std::invalid_argument);
+    cfg.threads = 0;
+    cfg.stateThreads = -3;
+    EXPECT_THROW(qv::heavyOutputExperiment(cfg), std::invalid_argument);
+}
+
+TEST(Qv, StateParallelSweepsDoNotChangeResults)
+{
+    // The second parallel axis (stateThreads, explicit or width-
+    // heuristic) must leave every aggregate bit-identical.
+    qv::QvConfig cfg;
+    cfg.width = 4;
+    cfg.czError = 0.02;
+    cfg.circuits = 4;
+    cfg.trajectories = 6;
+    cfg.seed = 13;
+    cfg.threads = 2;
+    cfg.stateThreads = 1;
+    const qv::QvResult serial = qv::heavyOutputExperiment(cfg);
+    for (int stateThreads : {2, 0}) {
+        cfg.stateThreads = stateThreads;
+        const qv::QvResult parallel = qv::heavyOutputExperiment(cfg);
+        EXPECT_EQ(serial.heavyOutputProportion,
+                  parallel.heavyOutputProportion);
+        EXPECT_EQ(serial.avgNativeGatesPerCircuit,
+                  parallel.avgNativeGatesPerCircuit);
+        EXPECT_EQ(serial.avgSwapsPerCircuit, parallel.avgSwapsPerCircuit);
+    }
+}
+
 TEST(Qv, SwapOverheadTracked)
 {
     qv::QvConfig cfg;

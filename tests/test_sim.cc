@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -346,6 +348,123 @@ TEST(Batch, ParallelForCoversEveryIndexOnce)
                      [&](std::size_t i) { hits[i].fetch_add(1); });
     for (std::size_t i = 0; i < hits.size(); ++i)
         EXPECT_EQ(hits[i].load(), 2);
+}
+
+TEST(Batch, ParallelForPropagatesTaskExceptionAndStaysServiceable)
+{
+    // A throwing task must not deadlock or terminate the pool: the
+    // first exception is rethrown on the calling thread once the batch
+    // drains, and the pool keeps working afterwards.
+    sim::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(200,
+                         [&](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("task 37");
+                             ++ran;
+                         }),
+        std::runtime_error);
+    EXPECT_LT(ran.load(), 200); // indices after the throw were skipped
+
+    // Every task throwing still surfaces exactly one exception.
+    EXPECT_THROW(pool.parallelFor(
+                     50, [](std::size_t) { throw std::logic_error("all"); }),
+                 std::logic_error);
+
+    // The pool is fully serviceable after both failed batches.
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+
+    // The inline (single-thread / single-item) paths propagate too.
+    sim::ThreadPool inlinePool(1);
+    EXPECT_THROW(inlinePool.parallelFor(
+                     3, [](std::size_t) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    EXPECT_THROW(
+        pool.parallelFor(1,
+                         [](std::size_t) { throw std::runtime_error("y"); }),
+        std::runtime_error);
+}
+
+TEST(Batch, PlanBatchWidthHeuristic)
+{
+    // Narrow registers: all threads to the trajectory axis.
+    sim::BatchPlan p = sim::planBatch(8, 10, 100);
+    EXPECT_EQ(p.trajWorkers, 8u);
+    EXPECT_EQ(p.stateThreads, 1u);
+
+    // Very wide registers: all threads to the sweep axis.
+    p = sim::planBatch(8, 27, 100);
+    EXPECT_EQ(p.trajWorkers, 1u);
+    EXPECT_EQ(p.stateThreads, 8u);
+
+    // Hybrid band: concurrent statevectors capped by the per-width
+    // memory budget (2^(26 - width)), spare threads to the sweeps.
+    p = sim::planBatch(8, 24, 100);
+    EXPECT_EQ(p.trajWorkers, 4u);
+    EXPECT_EQ(p.stateThreads, 2u);
+
+    // Scarce trajectories hand their threads to the sweep axis.
+    p = sim::planBatch(8, 20, 2);
+    EXPECT_EQ(p.trajWorkers, 2u);
+    EXPECT_EQ(p.stateThreads, 4u);
+
+    // A split that would idle threads to truncation (3 x 2 of 8) backs
+    // off to one that uses the whole budget (2 x 4).
+    p = sim::planBatch(8, 20, 3);
+    EXPECT_EQ(p.trajWorkers, 2u);
+    EXPECT_EQ(p.stateThreads, 4u);
+
+    // One thread or an empty batch degenerates to fully serial.
+    p = sim::planBatch(1, 24, 100);
+    EXPECT_EQ(p.trajWorkers, 1u);
+    EXPECT_EQ(p.stateThreads, 1u);
+    p = sim::planBatch(8, 24, 0);
+    EXPECT_EQ(p.trajWorkers, 1u);
+    EXPECT_EQ(p.stateThreads, 1u);
+}
+
+TEST(Batch, TrajectoryRunnerIsScheduleInvariant)
+{
+    // The same trajectories through every axis split — trajectory-only,
+    // state-only, hybrid — must be bit-for-bit identical, including
+    // when the body really uses its leased sweep pool.
+    linalg::Rng crng(55);
+    const std::size_t n = 14;
+    circuit::Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.add(linalg::haarUnitary(crng, 2), {q});
+    for (std::size_t q = 0; q + 1 < n; q += 2)
+        c.add(linalg::haarUnitary(crng, 4), {q, q + 1});
+    const sim::Plan plan = sim::compile(c);
+
+    const sim::TrajectoryRunner::Body body =
+        [&](std::size_t, linalg::Rng &rng, const sim::ExecOptions &exec) {
+            CVector amps = sim::run(plan, exec);
+            // A random amplitude's probability, so the result depends
+            // on both the sweep outcome and the RNG stream.
+            return std::norm(amps[rng.index(amps.size())]);
+        };
+
+    sim::TrajectoryRunner serial(1, 1);
+    const std::vector<double> reference = serial.run(12, 77, body);
+    ASSERT_EQ(reference.size(), 12u);
+
+    for (const auto &[traj, state] :
+         {std::pair<std::size_t, std::size_t>{4, 1}, {2, 2}, {1, 4}}) {
+        sim::TrajectoryRunner runner(traj, state);
+        EXPECT_EQ(runner.trajWorkers(), traj);
+        EXPECT_EQ(runner.stateThreads(), state == 0 ? 1 : state);
+        const std::vector<double> got = runner.run(12, 77, body);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], reference[i])
+                << "traj=" << traj << " state=" << state << " i=" << i;
+    }
 }
 
 TEST(Batch, TrajectoriesAreThreadCountInvariant)
