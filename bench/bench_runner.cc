@@ -1,22 +1,31 @@
 /**
  * @file
- * Unified benchmark runner: wraps the library's four benchmark
+ * Unified benchmark runner: wraps the library's five benchmark
  * families — kernel microbenchmarks (micro), state-parallel sweep
- * scaling (sweep), transpiler batch throughput (transpile), and the
- * Figure-7 quantum-volume harness (fig7) — behind one dependency-free
- * CLI and emits schema-versioned BENCH_<name>.json reports (see
- * report.hh for the schema). CI runs `bench_runner --smoke` on every
- * Release build and uploads the JSON as an artifact, so the
- * performance trajectory is machine-readable per commit.
+ * scaling (sweep), transpiler batch throughput (transpile), the
+ * Figure-7 quantum-volume harness (fig7), and the tracing-overhead
+ * A/B (obs) — behind one dependency-free CLI and emits
+ * schema-versioned BENCH_<name>.json reports (see report.hh for the
+ * schema). CI runs `bench_runner --smoke` on every Release build and
+ * uploads the JSON as an artifact, so the performance trajectory is
+ * machine-readable per commit.
  *
- *   bench_runner [--scenario micro|sweep|transpile|fig7|all]
- *                [--smoke] [--out-dir DIR]
+ *   bench_runner [micro|sweep|transpile|fig7|obs|all ...]
+ *                [--scenario FAMILY] [--smoke] [--out-dir DIR]
+ *                [--trace PATH]
  *
  * The micro family times every SIMD kernel against the sim::scalar
  * reference baseline and records speedup_vs_scalar; the sweep family
  * times chunked pool execution of single kernel sweeps against one
- * thread and records speedup_vs_1thread; the SIMD backend and lane
- * width in use are stamped into every report.
+ * thread and records speedup_vs_1thread; the obs family pins the
+ * disabled-tracing overhead of the instrumented kernel path against
+ * the raw kernel call; the SIMD backend and lane width in use are
+ * stamped into every report.
+ *
+ * --trace PATH records every selected family under an obs
+ * TraceSession, merges the per-span aggregates into each family's
+ * BENCH json ("obs" block), and writes one combined Chrome trace-event
+ * JSON to PATH (open in chrome://tracing or https://ui.perfetto.dev).
  */
 
 #include <algorithm>
@@ -32,6 +41,7 @@
 #include "circuit/circuit.hh"
 #include "device/device.hh"
 #include "linalg/random.hh"
+#include "obs/obs.hh"
 #include "qop/gates.hh"
 #include "qv/qv.hh"
 #include "report.hh"
@@ -54,8 +64,10 @@ struct Options
     bool sweep = true;
     bool transpile = true;
     bool fig7 = true;
+    bool obs = true;
     bool smoke = false;
     std::string outDir = ".";
+    std::string trace; ///< Chrome-trace output path; empty = no tracing.
 };
 
 /** Wall-clock seconds of fn(), best of @p rounds runs. */
@@ -80,10 +92,13 @@ reportSkeleton(const std::string &name, bool smoke)
     bench::Report rep;
     rep.name = name;
     rep.gitSha = bench::reportGitSha();
+    rep.gitDirty = bench::reportGitDirty();
     rep.simdBackend = sim::simdBackendName();
     rep.simdLanes = sim::simdLanes();
     rep.threads = std::max(1u, std::thread::hardware_concurrency());
     rep.smoke = smoke;
+    rep.obsBackend = obs::backendName();
+    rep.obsEnabled = obs::enabled();
     return rep;
 }
 
@@ -116,7 +131,7 @@ addKernelScenario(bench::Report &rep, const std::string &name,
     rep.scenarios.push_back(std::move(sc));
 }
 
-void
+bench::Report
 runMicro(const Options &opt)
 {
     std::printf("== micro (kernel SIMD backend: %s, %zu lanes) ==\n",
@@ -229,7 +244,7 @@ runMicro(const Options &opt)
         rep.scenarios.push_back(std::move(sc));
     }
 
-    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+    return rep;
 }
 
 /**
@@ -240,7 +255,7 @@ runMicro(const Options &opt)
  * consumers track (>= 2x expected on >= 4-core hardware; results are
  * bit-identical at every point, pinned by test_simd).
  */
-void
+bench::Report
 runSweep(const Options &opt)
 {
     std::printf("== sweep_scaling (state-parallel kernel sweeps, "
@@ -307,10 +322,10 @@ runSweep(const Options &opt)
         }
     }
 
-    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+    return rep;
 }
 
-void
+bench::Report
 runTranspile(const Options &opt)
 {
     std::printf("== transpile ==\n");
@@ -352,10 +367,10 @@ runTranspile(const Options &opt)
         rep.scenarios.push_back(std::move(sc));
     }
 
-    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+    return rep;
 }
 
-void
+bench::Report
 runFig7(const Options &opt)
 {
     std::printf("== fig7 (quantum volume heavy output) ==\n");
@@ -415,7 +430,104 @@ runFig7(const Options &opt)
         }
     }
 
-    std::printf("wrote %s\n", bench::writeReport(rep, opt.outDir).c_str());
+    return rep;
+}
+
+/**
+ * Tracing-overhead A/B (BENCH_obs_overhead.json): one full-register
+ * apply2q sweep timed three ways — the raw kernel call (baseline), the
+ * instrumented sim::executeOp path with tracing disabled, and the same
+ * path with tracing enabled. The disabled_overhead_pct metric is the
+ * zero-cost-when-off contract: the instrumented path must stay within
+ * 1% of the raw kernel when the flag is off (span + counter sites cost
+ * one relaxed load and a branch per sweep, amortized over 2^n
+ * amplitudes). enabled_overhead_pct documents the cost of actually
+ * recording.
+ */
+bench::Report
+runObsOverhead(const Options &opt)
+{
+    std::printf("== obs_overhead (tracing A/B, obs backend: %s) ==\n",
+                obs::backendName());
+    bench::Report rep = reportSkeleton("obs_overhead", opt.smoke);
+
+    const std::size_t n = opt.smoke ? 16 : 20;
+    const int sweepsPerRound = opt.smoke ? 8 : 4;
+    const int rounds = 5;
+
+    linalg::Rng rng(23);
+    CVector amps = randomState(rng, n);
+    sim::KernelOp op;
+    op.kind = sim::KernelKind::TwoQ;
+    op.q0 = n / 3;
+    op.q1 = (2 * n) / 3;
+    const Matrix u = linalg::haarUnitary(rng, 4);
+    for (std::size_t i = 0; i < 16; ++i)
+        op.m[i] = u(i / 4, i % 4);
+
+    // Serial ExecOptions so the A/B isolates instrumentation overhead,
+    // not pool dispatch.
+    const sim::ExecOptions exec;
+
+    const double tBase = bestSeconds(rounds, [&] {
+        for (int s = 0; s < sweepsPerRound; ++s)
+            sim::apply2q(amps.data(), n, op.q0, op.q1, op.m.data());
+    });
+
+    // The runner may be inside a --trace session; restore its flag after
+    // forcing each leg's state.
+    const bool outerEnabled = obs::enabled();
+    obs::setEnabled(false);
+    const double tDisabled = bestSeconds(rounds, [&] {
+        for (int s = 0; s < sweepsPerRound; ++s)
+            sim::executeOp(op, amps.data(), n, exec);
+    });
+
+    double tEnabled = 0.0;
+    if (obs::compiledIn()) {
+        // Record for real: reuse the active --trace session if there is
+        // one, else run a throwaway local session.
+        obs::TraceSession local;
+        if (outerEnabled)
+            obs::setEnabled(true);
+        else
+            local.start();
+        tEnabled = bestSeconds(rounds, [&] {
+            for (int s = 0; s < sweepsPerRound; ++s)
+                sim::executeOp(op, amps.data(), n, exec);
+        });
+        if (!outerEnabled)
+            local.stop();
+    }
+    obs::setEnabled(outerEnabled);
+
+    const double perSweep = 1.0 / static_cast<double>(sweepsPerRound);
+    const double nsBase = 1e9 * tBase * perSweep;
+    const double nsDisabled = 1e9 * tDisabled * perSweep;
+    const double nsEnabled = 1e9 * tEnabled * perSweep;
+    const double disabledPct =
+        nsBase > 0.0 ? 100.0 * (nsDisabled - nsBase) / nsBase : 0.0;
+    const double enabledPct =
+        nsBase > 0.0 && obs::compiledIn()
+            ? 100.0 * (nsEnabled - nsBase) / nsBase
+            : 0.0;
+
+    bench::Scenario sc;
+    sc.name = "apply2q_sweep/n=" + std::to_string(n);
+    sc.params = {{"qubits", static_cast<double>(n)},
+                 {"sweeps_per_round", static_cast<double>(sweepsPerRound)}};
+    sc.metrics = {{"baseline_ns_per_sweep", nsBase, "ns"},
+                  {"disabled_ns_per_sweep", nsDisabled, "ns"},
+                  {"enabled_ns_per_sweep", nsEnabled, "ns"},
+                  {"disabled_overhead_pct", disabledPct, "%"},
+                  {"enabled_overhead_pct", enabledPct, "%"}};
+    std::printf("  %-22s base %10.1f ns   off %10.1f ns (%+.2f%%)   "
+                "on %10.1f ns (%+.2f%%)\n",
+                sc.name.c_str(), nsBase, nsDisabled, disabledPct, nsEnabled,
+                enabledPct);
+    rep.scenarios.push_back(std::move(sc));
+
+    return rep;
 }
 
 int
@@ -423,13 +535,18 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--scenario micro|sweep|transpile|fig7|all] [--smoke]\n"
-        "          [--out-dir DIR]\n"
+        "usage: %s [micro|sweep|transpile|fig7|obs|all ...] [--smoke]\n"
+        "          [--scenario FAMILY] [--out-dir DIR] [--trace PATH]\n"
         "\n"
         "Runs the unified benchmark suite and writes BENCH_<name>.json\n"
         "per family into --out-dir (default: current directory).\n"
-        "--smoke shrinks problem sizes for CI; the n=20 apply1q\n"
-        "scalar-vs-SIMD point is always included.\n",
+        "Families may be given positionally or via --scenario; with\n"
+        "none, every family runs. --smoke shrinks problem sizes for CI;\n"
+        "the n=20 apply1q scalar-vs-SIMD point is always included.\n"
+        "--trace PATH additionally records every selected family and\n"
+        "writes one combined Chrome trace-event JSON to PATH (open in\n"
+        "chrome://tracing or https://ui.perfetto.dev); per-span\n"
+        "aggregates land in each family's BENCH json under \"obs\".\n",
         argv0);
     return 2;
 }
@@ -441,46 +558,99 @@ main(int argc, char **argv)
 {
     Options opt;
     bool scenarioChosen = false;
+    const auto selectFamily = [&](const std::string &s) {
+        if (!scenarioChosen) {
+            opt.micro = opt.sweep = opt.transpile = opt.fig7 = opt.obs =
+                false;
+            scenarioChosen = true;
+        }
+        if (s == "micro")
+            opt.micro = true;
+        else if (s == "sweep")
+            opt.sweep = true;
+        else if (s == "transpile")
+            opt.transpile = true;
+        else if (s == "fig7")
+            opt.fig7 = true;
+        else if (s == "obs")
+            opt.obs = true;
+        else if (s == "all")
+            opt.micro = opt.sweep = opt.transpile = opt.fig7 = opt.obs =
+                true;
+        else
+            return false;
+        return true;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
             opt.smoke = true;
         } else if (arg == "--out-dir" && i + 1 < argc) {
             opt.outDir = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.trace = argv[++i];
         } else if (arg == "--scenario" && i + 1 < argc) {
-            const std::string s = argv[++i];
-            if (!scenarioChosen) {
-                opt.micro = opt.sweep = opt.transpile = opt.fig7 = false;
-                scenarioChosen = true;
-            }
-            if (s == "micro")
-                opt.micro = true;
-            else if (s == "sweep")
-                opt.sweep = true;
-            else if (s == "transpile")
-                opt.transpile = true;
-            else if (s == "fig7")
-                opt.fig7 = true;
-            else if (s == "all")
-                opt.micro = opt.sweep = opt.transpile = opt.fig7 = true;
-            else
+            if (!selectFamily(argv[++i]))
+                return usage(argv[0]);
+        } else if (!arg.empty() && arg[0] != '-') {
+            if (!selectFamily(arg))
                 return usage(argv[0]);
         } else {
             return usage(argv[0]);
         }
     }
 
-    std::printf("bench_runner: sha %s, backend %s, %u hw threads%s\n",
-                bench::reportGitSha().c_str(), sim::simdBackendName(),
+    const bool tracing = !opt.trace.empty() && obs::compiledIn();
+    if (!opt.trace.empty() && !obs::compiledIn())
+        std::fprintf(stderr,
+                     "bench_runner: warning: --trace ignored (built with "
+                     "-DCRISC_OBS=OFF)\n");
+
+    std::printf("bench_runner: sha %s%s, backend %s, %u hw threads%s%s\n",
+                bench::reportGitSha().c_str(),
+                bench::reportGitDirty() ? "-dirty" : "",
+                sim::simdBackendName(),
                 std::max(1u, std::thread::hardware_concurrency()),
-                opt.smoke ? " (smoke)" : "");
+                opt.smoke ? " (smoke)" : "", tracing ? " (tracing)" : "");
+
+    // Each family runs under its own TraceSession (fresh buffers and
+    // counters), its aggregates land in its own BENCH json, and the raw
+    // events merge into one combined Chrome trace.
+    obs::Trace combined;
+    const auto runFamily = [&](bench::Report (*fn)(const Options &)) {
+        obs::TraceSession session;
+        if (tracing)
+            session.start();
+        bench::Report rep = fn(opt);
+        if (tracing) {
+            session.stop();
+            const obs::Trace t = session.collect();
+            rep.obsEnabled = true;
+            for (const obs::SpanSummary &s : obs::summarize(t))
+                rep.obsSpans.push_back(
+                    {s.name, s.count, s.totalNs, s.meanNs, s.p95Ns});
+            obs::mergeInto(combined, t);
+        }
+        std::printf("wrote %s\n",
+                    bench::writeReport(rep, opt.outDir).c_str());
+    };
+
     if (opt.micro)
-        runMicro(opt);
+        runFamily(runMicro);
     if (opt.sweep)
-        runSweep(opt);
+        runFamily(runSweep);
     if (opt.transpile)
-        runTranspile(opt);
+        runFamily(runTranspile);
     if (opt.fig7)
-        runFig7(opt);
+        runFamily(runFig7);
+    if (opt.obs)
+        runFamily(runObsOverhead);
+
+    if (tracing) {
+        obs::writeChromeTrace(combined, opt.trace);
+        std::printf("wrote %s (%zu span events, %llu dropped)\n",
+                    opt.trace.c_str(), combined.events.size(),
+                    static_cast<unsigned long long>(combined.dropped));
+    }
     return 0;
 }

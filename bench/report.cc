@@ -92,6 +92,16 @@ reportGitSha()
 #endif
 }
 
+bool
+reportGitDirty()
+{
+#if defined(CRISC_GIT_DIRTY) && CRISC_GIT_DIRTY
+    return true;
+#else
+    return false;
+#endif
+}
+
 std::string
 toJson(const Report &report)
 {
@@ -100,11 +110,31 @@ toJson(const Report &report)
            ",\n";
     out += "  \"name\": \"" + escaped(report.name) + "\",\n";
     out += "  \"git_sha\": \"" + escaped(report.gitSha) + "\",\n";
+    out += std::string("  \"git_dirty\": ") +
+           (report.gitDirty ? "true" : "false") + ",\n";
     out += "  \"simd_backend\": \"" + escaped(report.simdBackend) + "\",\n";
     out += "  \"simd_lanes\": " + std::to_string(report.simdLanes) + ",\n";
     out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
     out += std::string("  \"smoke\": ") + (report.smoke ? "true" : "false") +
            ",\n";
+    out += "  \"obs\": {\"backend\": \"" + escaped(report.obsBackend) +
+           "\", \"enabled\": " + (report.obsEnabled ? "true" : "false");
+    if (!report.obsSpans.empty()) {
+        out += ", \"spans\": [\n";
+        for (std::size_t i = 0; i < report.obsSpans.size(); ++i) {
+            const ObsSpanRow &s = report.obsSpans[i];
+            out += "    {\"name\": \"" + escaped(s.name) +
+                   "\", \"count\": " + std::to_string(s.count) +
+                   ", \"total_ns\": " + std::to_string(s.totalNs) +
+                   ", \"mean_ns\": " + number(s.meanNs) +
+                   ", \"p95_ns\": " + std::to_string(s.p95Ns) + "}";
+            if (i + 1 < report.obsSpans.size())
+                out += ",";
+            out += "\n";
+        }
+        out += "  ]";
+    }
+    out += "},\n";
     out += "  \"scenarios\": [\n";
     for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
         appendScenario(out, report.scenarios[i]);

@@ -6,13 +6,25 @@
  * uploads as an artifact:
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "name": "micro",
  *     "git_sha": "abc1234",           // configure-time snapshot
+ *     "git_dirty": false,             // working tree dirty at configure
  *     "simd_backend": "avx2",         // sim::simdBackendName()
  *     "simd_lanes": 4,
  *     "threads": 8,                   // hardware concurrency
  *     "smoke": false,
+ *     "obs": {                        // tracing subsystem (src/obs/)
+ *       "backend": "ring",            // obs::backendName(); "off" when
+ *                                     // compiled with -DCRISC_OBS=OFF
+ *       "enabled": true,              // a TraceSession covered this run
+ *       "spans": [                    // per-span-name aggregates, only
+ *                                     // when enabled
+ *         { "name": "sim.sweep", "count": 1184,
+ *           "total_ns": 812345678, "mean_ns": 686102.1,
+ *           "p95_ns": 912345 }
+ *       ]
+ *     },
  *     "scenarios": [
  *       { "name": "apply1q/n=20",
  *         "params": { "qubits": 20 },
@@ -24,16 +36,21 @@
  *     ]
  *   }
  *
+ * Schema history: v2 added git_dirty (a bare sha from a dirty tree
+ * misattributes perf results) and the "obs" block.
+ *
  * Only a tiny, dependency-free subset of JSON is produced: objects,
- * arrays, strings (ASCII, escaped), and finite doubles printed with 17
- * significant digits (NaN/inf serialize as null). Scenario and metric
- * names are free-form; the "speedup_vs_scalar" metric name is the one
- * contract consumers rely on for SIMD regression tracking.
+ * arrays, strings (ASCII, escaped), booleans, unsigned integers, and
+ * finite doubles printed with 17 significant digits (NaN/inf serialize
+ * as null). Scenario and metric names are free-form; the
+ * "speedup_vs_scalar" metric name is the one contract consumers rely
+ * on for SIMD regression tracking.
  */
 
 #ifndef CRISC_BENCH_REPORT_HH
 #define CRISC_BENCH_REPORT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,21 +80,40 @@ struct Scenario
     std::vector<Metric> metrics;
 };
 
+/** One per-span-name trace aggregate (mirrors obs::SpanSummary;
+ *  duplicated here so the report schema has no obs dependency). */
+struct ObsSpanRow
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    double meanNs = 0.0;
+    std::uint64_t p95Ns = 0;
+};
+
 /** A whole BENCH_<name>.json document. */
 struct Report
 {
-    int schemaVersion = 1;
+    int schemaVersion = 2;
     std::string name;        ///< report family: "micro", "fig7", ...
     std::string gitSha;      ///< from reportGitSha().
+    bool gitDirty = false;   ///< from reportGitDirty().
     std::string simdBackend; ///< from sim::simdBackendName().
     std::size_t simdLanes = 1;
     unsigned threads = 1;    ///< hardware concurrency at run time.
     bool smoke = false;      ///< reduced CI sizes.
+    std::string obsBackend = "off"; ///< obs::backendName().
+    bool obsEnabled = false; ///< a TraceSession covered this run.
+    std::vector<ObsSpanRow> obsSpans; ///< per-span aggregates (traced).
     std::vector<Scenario> scenarios;
 };
 
 /** The git revision compiled into the runner ("unknown" if absent). */
 std::string reportGitSha();
+
+/** Whether the working tree was dirty when the build was configured —
+ *  a bare sha from a dirty tree misattributes perf results. */
+bool reportGitDirty();
 
 /** Serializes a report to a JSON string (trailing newline included). */
 std::string toJson(const Report &report);

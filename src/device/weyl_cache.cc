@@ -4,6 +4,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/obs.hh"
+
 namespace crisc {
 namespace device {
 
@@ -35,16 +37,21 @@ WeylCache::lookup(const weyl::WeylPoint &p, double h, double r)
         const auto it = map_.find(key);
         if (it != map_.end()) {
             ++hits_;
+            OBS_COUNT("weyl_cache.hit", 1);
             return it->second;
         }
     }
     // Synthesize outside the lock; a raced duplicate computes the same
     // deterministic entry and emplace keeps whichever landed first.
     Entry e;
-    e.params = ashn::synthesize(p, h, r);
-    e.pulse = ashn::realize(e.params);
+    {
+        OBS_SPAN("weyl.synthesize");
+        e.params = ashn::synthesize(p, h, r);
+        e.pulse = ashn::realize(e.params);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     ++misses_;
+    OBS_COUNT("weyl_cache.miss", 1);
     return map_.emplace(key, std::move(e)).first->second;
 }
 

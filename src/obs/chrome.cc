@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cold-path trace export: Chrome trace-event JSON serialization and
+ * per-span-name aggregation. Kept out of obs.cc so the recording hot
+ * path stays small.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "obs.hh"
+
+namespace crisc {
+namespace obs {
+
+namespace {
+
+/** Escapes JSON string specials (span names are ASCII by convention). */
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Nanoseconds as a microsecond JSON number with ns resolution. */
+std::string
+micros(std::uint64_t ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::vector<SpanSummary>
+summarize(const Trace &trace)
+{
+    // Group by name *content*: the same site name may be interned to
+    // different pointers across sessions.
+    std::map<std::string, std::vector<std::uint64_t>> durations;
+    for (const SpanEvent &e : trace.events)
+        durations[e.name].push_back(e.durNs);
+
+    std::vector<SpanSummary> out;
+    out.reserve(durations.size());
+    for (auto &entry : durations) {
+        std::vector<std::uint64_t> &durs = entry.second;
+        std::sort(durs.begin(), durs.end());
+        SpanSummary s;
+        s.name = entry.first;
+        s.count = durs.size();
+        for (const std::uint64_t d : durs)
+            s.totalNs += d;
+        s.meanNs = static_cast<double>(s.totalNs) /
+                   static_cast<double>(s.count);
+        // Nearest-rank p95: the ceil(0.95 * count)-th smallest value.
+        const std::size_t rank = (durs.size() * 95 + 99) / 100;
+        s.p95Ns = durs[rank - 1];
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string
+chromeTraceJson(const Trace &trace)
+{
+    // Timestamps are rebased to the earliest event so Perfetto's
+    // timeline starts near zero.
+    std::uint64_t base = 0;
+    std::uint64_t end = 0;
+    bool first = true;
+    for (const SpanEvent &e : trace.events) {
+        if (first || e.t0Ns < base)
+            base = e.t0Ns;
+        if (first || e.t0Ns + e.durNs > end)
+            end = e.t0Ns + e.durNs;
+        first = false;
+    }
+
+    std::vector<std::uint32_t> tids;
+    for (const SpanEvent &e : trace.events)
+        if (std::find(tids.begin(), tids.end(), e.tid) == tids.end())
+            tids.push_back(e.tid);
+    std::sort(tids.begin(), tids.end());
+
+    std::string out = "{\"traceEvents\": [\n";
+    bool comma = false;
+    const auto append = [&](const std::string &event) {
+        if (comma)
+            out += ",\n";
+        out += "  " + event;
+        comma = true;
+    };
+
+    append("{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+           "\"name\": \"process_name\", "
+           "\"args\": {\"name\": \"crisc\"}}");
+    for (const std::uint32_t tid : tids)
+        append("{\"ph\": \"M\", \"pid\": 1, \"tid\": " +
+               std::to_string(tid) +
+               ", \"name\": \"thread_name\", \"args\": {\"name\": "
+               "\"thread-" +
+               std::to_string(tid) + "\"}}");
+
+    for (const SpanEvent &e : trace.events)
+        append("{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+               std::to_string(e.tid) + ", \"name\": \"" +
+               escaped(e.name) + "\", \"ts\": " + micros(e.t0Ns - base) +
+               ", \"dur\": " + micros(e.durNs) + "}");
+
+    // One trailing counter sample per counter, stamped at trace end so
+    // Perfetto shows a track with the session's final value.
+    for (const CounterSample &c : trace.counters)
+        append("{\"ph\": \"C\", \"pid\": 1, \"name\": \"" +
+               escaped(c.name) + "\", \"ts\": " + micros(end - base) +
+               ", \"args\": {\"value\": " + std::to_string(c.value) +
+               "}}");
+
+    out += "\n],\n\"displayTimeUnit\": \"ns\",\n";
+    out += "\"otherData\": {\"backend\": \"" +
+           std::string(backendName()) +
+           "\", \"dropped_events\": " + std::to_string(trace.dropped) +
+           "}\n}\n";
+    return out;
+}
+
+void
+writeChromeTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file)
+        throw std::runtime_error("writeChromeTrace: cannot open " + path);
+    file << chromeTraceJson(trace);
+    if (!file.flush())
+        throw std::runtime_error("writeChromeTrace: write failed for " +
+                                 path);
+}
+
+} // namespace obs
+} // namespace crisc

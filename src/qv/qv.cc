@@ -11,6 +11,7 @@
 #include "ashn/special.hh"
 #include "circuit/circuit.hh"
 #include "circuit/noise.hh"
+#include "obs/obs.hh"
 #include "qop/gates.hh"
 #include "route/route.hh"
 #include "sim/batch.hh"
@@ -175,6 +176,7 @@ heavyOutputExperiment(const QvConfig &config)
     double gateSum = 0.0, timeSum = 0.0, swapSum = 0.0;
 
     for (int ci = 0; ci < config.circuits; ++ci) {
+        OBS_SPAN("qv.circuit");
         // Circuit generation and noise sampling draw from separate
         // seed-derived streams (even / odd), so a circuit's gates
         // depend only on (seed, ci) — never on how many trajectories
@@ -210,7 +212,11 @@ heavyOutputExperiment(const QvConfig &config)
         // native cost model to each physical block.
         transpile::PassContext routeCtx;
         routeCtx.coupling = &map;
-        const circuit::Circuit routed = routePass.run(model, routeCtx);
+        const circuit::Circuit routed = [&] {
+            // Same span name the PassManager would emit for this pass.
+            OBS_SPAN("pass.Route");
+            return routePass.run(model, routeCtx);
+        }();
         const route::Layout &layout = *routeCtx.layout;
 
         std::vector<PhysicalOp> ops;
@@ -268,8 +274,10 @@ heavyOutputExperiment(const QvConfig &config)
 
         // --- Ideal output distribution and heavy set, via the kernel
         // engine (fusion is a no-op here; the quad kernel is not).
-        const linalg::CVector idealAmps =
-            sim::run(sim::compile(model), idealExec);
+        const linalg::CVector idealAmps = [&] {
+            OBS_SPAN("qv.ideal");
+            return sim::run(sim::compile(model), idealExec);
+        }();
         std::vector<double> probs(dim);
         for (std::size_t i = 0; i < dim; ++i)
             probs[i] = std::norm(idealAmps[i]);
@@ -310,6 +318,8 @@ heavyOutputExperiment(const QvConfig &config)
             sim::streamSeed(config.seed, circuitStream + 1),
             [&](std::size_t, linalg::Rng &rng,
                 const sim::ExecOptions &exec) {
+                OBS_SPAN("qv.trajectory");
+                OBS_COUNT("qv.trajectories", 1);
                 linalg::CVector amps(simDim, Complex{0.0, 0.0});
                 amps[0] = 1.0;
                 for (const PhysicalOp &op : ops) {

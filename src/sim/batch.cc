@@ -1,5 +1,7 @@
 #include "batch.hh"
 
+#include "obs/obs.hh"
+
 namespace crisc {
 namespace sim {
 
@@ -48,6 +50,7 @@ ThreadPool::runIndex(const std::function<void(std::size_t)> &fn,
     if (errored_.load(std::memory_order_relaxed))
         return;
     try {
+        OBS_SPAN("pool.task");
         fn(index);
     } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -63,11 +66,16 @@ ThreadPool::parallelFor(std::size_t count,
 {
     if (count == 0)
         return;
+    OBS_SPAN("pool.parallelFor");
+    OBS_COUNT("pool.tasks", count);
+    OBS_GAUGE("pool.queue_depth", count);
     if (workers_.empty() || count == 1) {
         // Inline path: the first exception propagates directly and the
         // remaining indices are skipped, matching the pooled contract.
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            OBS_SPAN("pool.task");
             fn(i);
+        }
         return;
     }
 
@@ -163,6 +171,8 @@ runTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
         return {};
     std::vector<double> results(count, 0.0);
     pool.parallelFor(count, [&](std::size_t t) {
+        OBS_SPAN("traj.trajectory");
+        OBS_COUNT("traj.count", 1);
         linalg::Rng rng(streamSeed(base_seed, t));
         results[t] = body(t, rng);
     });
@@ -284,6 +294,8 @@ TrajectoryRunner::run(std::size_t count, std::uint64_t base_seed,
         return {};
     std::vector<double> results(count, 0.0);
     trajPool_.parallelFor(count, [&](std::size_t t) {
+        OBS_SPAN("traj.trajectory");
+        OBS_COUNT("traj.count", 1);
         linalg::Rng rng(streamSeed(base_seed, t));
         ExecOptions exec;
         ThreadPool *state = nullptr;

@@ -3,6 +3,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/obs.hh"
+
 namespace crisc {
 namespace sim {
 
@@ -202,10 +204,14 @@ class Compiler
 Plan
 compile(const circuit::Circuit &c, const CompileOptions &opts)
 {
+    OBS_SPAN("sim.compile");
     Compiler compiler(c.numQubits(), opts);
     for (const circuit::Gate &g : c.gates())
         compiler.addGate(g);
-    return compiler.finish(c.numQubits());
+    Plan plan = compiler.finish(c.numQubits());
+    OBS_COUNT("sim.fused_1q", plan.stats().fusedGates);
+    OBS_COUNT("sim.fused_2q", plan.stats().fusedInto2q);
+    return plan;
 }
 
 void
@@ -313,6 +319,7 @@ void
 executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits,
           const ExecOptions &opts)
 {
+    OBS_SPAN("sim.sweep");
     ThreadPool *pool = opts.pool;
     const std::size_t groups = opGroupCount(op, n_qubits);
     if (pool == nullptr || pool->size() <= 1 ||
@@ -322,6 +329,7 @@ executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits,
     }
     const std::size_t chunk = chunkFor(groups, pool->size(), opts.chunk);
     const std::size_t tasks = (groups + chunk - 1) / chunk;
+    OBS_COUNT("sim.chunks", tasks);
     pool->parallelFor(tasks, [&](std::size_t t) {
         const std::size_t g0 = t * chunk;
         const std::size_t g1 = g0 + chunk < groups ? g0 + chunk : groups;
@@ -332,6 +340,7 @@ executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits,
 void
 execute(const Plan &plan, Complex *amps)
 {
+    OBS_SPAN("sim.plan");
     for (const KernelOp &op : plan.ops())
         executeOp(op, amps, plan.numQubits());
 }
@@ -343,6 +352,7 @@ execute(const Plan &plan, Complex *amps, const ExecOptions &opts)
         execute(plan, amps);
         return;
     }
+    OBS_SPAN("sim.plan");
     // One transient pool serves every sweep of this execution when the
     // caller did not provide one (opts.threads == 0 = hardware).
     std::optional<ThreadPool> transient;

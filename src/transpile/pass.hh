@@ -59,6 +59,16 @@ struct PassContext
     double totalPulseTime = 0.0;
     std::size_t nativeGates = 0;       ///< native 2q gates emitted.
     std::size_t singleQubitGates = 0;  ///< 1q gates in the lowered output.
+
+    // --- per-pass scratch
+    /**
+     * Largest intermediate gate count the *current* pass saw. Reset to
+     * 0 by the PassManager before each pass; a pass that builds a
+     * transient circuit bigger than both its input and its output
+     * should raise this, and PassMetrics::gatesPeak records
+     * max(before, after, peakGates) either way.
+     */
+    std::size_t peakGates = 0;
 };
 
 /** A circuit-to-circuit rewrite step. */
@@ -84,10 +94,23 @@ struct PassMetrics
 {
     std::string pass;
     std::size_t gatesBefore = 0, gatesAfter = 0;
+    /**
+     * Peak intermediate gate count: max(gatesBefore, gatesAfter, any
+     * PassContext::peakGates the pass reported). Before/after deltas
+     * alone hide a pass that expands and then shrinks the circuit;
+     * this field makes the transpile report agree with what the trace
+     * spans actually covered.
+     */
+    std::size_t gatesPeak = 0;
     std::size_t twoQubitBefore = 0, twoQubitAfter = 0;
     std::size_t depthBefore = 0, depthAfter = 0;
     /** ctx.totalPulseTime after the pass (0 until NativeLower runs). */
     double pulseTimeAfter = 0.0;
+    /**
+     * Wall time of the pass, measured by the same obs::TimedSpan that
+     * emits the "pass.<name>" trace event — the report field and the
+     * span duration come from the same two clock samples.
+     */
     double wallSeconds = 0.0;
 };
 

@@ -1,7 +1,10 @@
 #include "pass_manager.hh"
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
+#include <string>
+
+#include "obs/obs.hh"
 
 namespace crisc {
 namespace transpile {
@@ -10,17 +13,18 @@ std::string
 TranspileReport::summary() const
 {
     std::string out;
-    char line[160];
-    std::snprintf(line, sizeof line, "%-22s %10s %8s %8s %12s %10s\n",
-                  "pass", "gates", "2q", "depth", "pulse time", "wall ms");
+    char line[176];
+    std::snprintf(line, sizeof line, "%-22s %10s %6s %8s %8s %12s %10s\n",
+                  "pass", "gates", "peak", "2q", "depth", "pulse time",
+                  "wall ms");
     out += line;
     for (const PassMetrics &m : passes) {
         std::snprintf(line, sizeof line,
-                      "%-22s %4zu->%-4zu %3zu->%-3zu %3zu->%-3zu %12.4f "
-                      "%10.3f\n",
+                      "%-22s %4zu->%-4zu %6zu %3zu->%-3zu %3zu->%-3zu "
+                      "%12.4f %10.3f\n",
                       m.pass.c_str(), m.gatesBefore, m.gatesAfter,
-                      m.twoQubitBefore, m.twoQubitAfter, m.depthBefore,
-                      m.depthAfter, m.pulseTimeAfter,
+                      m.gatesPeak, m.twoQubitBefore, m.twoQubitAfter,
+                      m.depthBefore, m.depthAfter, m.pulseTimeAfter,
                       1e3 * m.wallSeconds);
         out += line;
     }
@@ -40,8 +44,6 @@ PassManager::add(std::unique_ptr<Pass> pass)
 TranspileResult
 PassManager::run(const circuit::Circuit &input, PassContext ctx) const
 {
-    using clock = std::chrono::steady_clock;
-
     TranspileResult res;
     circuit::Circuit current = input;
     for (const auto &pass : passes_) {
@@ -50,11 +52,20 @@ PassManager::run(const circuit::Circuit &input, PassContext ctx) const
         m.gatesBefore = current.size();
         m.twoQubitBefore = current.twoQubitCount();
         m.depthBefore = current.depth();
-        const auto t0 = clock::now();
+        ctx.peakGates = 0;
+        // The span IS the pass timer: wallSeconds and the recorded
+        // "pass.<name>" trace event share the same two clock samples.
+        // Interning only happens while tracing, so the untraced path
+        // pays nothing beyond the clock reads it always did.
+        obs::TimedSpan span(obs::enabled()
+                                ? obs::internName(std::string("pass.") +
+                                                  pass->name())
+                                : nullptr);
         current = pass->run(current, ctx);
-        const auto t1 = clock::now();
-        m.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        m.wallSeconds = span.finishSeconds();
         m.gatesAfter = current.size();
+        m.gatesPeak =
+            std::max({m.gatesBefore, m.gatesAfter, ctx.peakGates});
         m.twoQubitAfter = current.twoQubitCount();
         m.depthAfter = current.depth();
         m.pulseTimeAfter = ctx.totalPulseTime;

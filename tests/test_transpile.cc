@@ -269,6 +269,49 @@ TEST(Pipeline, MetricsReportCoversEveryPass)
     EXPECT_NE(res.report.summary().find("native-lower"), std::string::npos);
 }
 
+TEST(Pipeline, MetricsRecordGatesPeak)
+{
+    linalg::Rng rng(10);
+    const Circuit logical = randomCircuit(rng, 3, 5, true);
+    const transpile::TranspileResult res = transpile::transpile(logical);
+    // Every current pass only grows or shrinks monotonically, so the
+    // peak is exactly the larger endpoint.
+    for (const transpile::PassMetrics &m : res.report.passes)
+        EXPECT_EQ(m.gatesPeak, std::max(m.gatesBefore, m.gatesAfter))
+            << m.pass;
+}
+
+/** A pass whose transient working set exceeds both endpoints; it
+ *  reports the excursion through ctx.peakGates. */
+class InflatingPass final : public transpile::Pass
+{
+  public:
+    const char *name() const override { return "inflating"; }
+    Circuit run(const Circuit &in,
+                transpile::PassContext &ctx) const override
+    {
+        ctx.peakGates = in.size() + 100;
+        return in;
+    }
+};
+
+TEST(Pipeline, PassRaisedPeakGatesIsRecorded)
+{
+    transpile::PassManager pm;
+    pm.emplace<InflatingPass>();
+    Circuit c(2);
+    c.add(qop::cnot(), {0, 1});
+    const transpile::TranspileResult res = pm.run(c);
+    ASSERT_EQ(res.report.passes.size(), 1u);
+    EXPECT_EQ(res.report.passes[0].gatesPeak, c.size() + 100);
+    // The scratch field resets per pass: a second (standard) pipeline
+    // run is unaffected by the previous excursion.
+    const transpile::TranspileResult clean = transpile::transpile(c);
+    for (const transpile::PassMetrics &m : clean.report.passes)
+        EXPECT_LE(m.gatesPeak, std::max(m.gatesBefore, m.gatesAfter) + 0u)
+            << m.pass;
+}
+
 TEST(Pipeline, RouteErrors)
 {
     const transpile::Route pass;
