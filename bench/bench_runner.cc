@@ -1,26 +1,28 @@
 /**
  * @file
- * Unified benchmark runner: wraps the library's five benchmark
+ * Unified benchmark runner: wraps the library's six benchmark
  * families — kernel microbenchmarks (micro), state-parallel sweep
- * scaling (sweep), transpiler batch throughput (transpile), the
- * Figure-7 quantum-volume harness (fig7), and the tracing-overhead
- * A/B (obs) — behind one dependency-free CLI and emits
- * schema-versioned BENCH_<name>.json reports (see report.hh for the
- * schema). CI runs `bench_runner --smoke` on every Release build and
- * uploads the JSON as an artifact, so the performance trajectory is
- * machine-readable per commit.
+ * scaling (sweep), SoA trajectory batching (batch), transpiler batch
+ * throughput (transpile), the Figure-7 quantum-volume harness (fig7),
+ * and the tracing-overhead A/B (obs) — behind one dependency-free CLI
+ * and emits schema-versioned BENCH_<name>.json reports (see report.hh
+ * for the schema). CI runs `bench_runner --smoke` on every Release
+ * build and uploads the JSON as an artifact, so the performance
+ * trajectory is machine-readable per commit.
  *
- *   bench_runner [micro|sweep|transpile|fig7|obs|all ...]
+ *   bench_runner [micro|sweep|batch|transpile|fig7|obs|all ...]
  *                [--scenario FAMILY] [--smoke] [--out-dir DIR]
  *                [--trace PATH]
  *
  * The micro family times every SIMD kernel against the sim::scalar
  * reference baseline and records speedup_vs_scalar; the sweep family
  * times chunked pool execution of single kernel sweeps against one
- * thread and records speedup_vs_1thread; the obs family pins the
- * disabled-tracing overhead of the instrumented kernel path against
- * the raw kernel call; the SIMD backend and lane width in use are
- * stamped into every report.
+ * thread and records speedup_vs_1thread; the batch family times
+ * SoA-batched plan execution (SIMD lanes across trajectories) against
+ * per-trajectory execution and records speedup_vs_trajparallel; the
+ * obs family pins the disabled-tracing overhead of the instrumented
+ * kernel paths (serial and batched) against the raw kernel call; the
+ * SIMD backend and lane width in use are stamped into every report.
  *
  * --trace PATH records every selected family under an obs
  * TraceSession, merges the per-span aggregates into each family's
@@ -62,6 +64,7 @@ struct Options
 {
     bool micro = true;
     bool sweep = true;
+    bool batch = true;
     bool transpile = true;
     bool fig7 = true;
     bool obs = true;
@@ -325,6 +328,96 @@ runSweep(const Options &opt)
     return rep;
 }
 
+/**
+ * SoA-batched trajectory execution (BENCH_batch_soa.json): one compiled
+ * plan applied to T statevectors either one at a time (the per-slot
+ * work of the trajectory-parallel arm, with per-state SIMD) or in SoA
+ * batches of B lanes via sim::executeBatched (SIMD lanes across
+ * trajectories). speedup_vs_trajparallel at width <= 14 with
+ * B = simdLanes() is the contract consumers track (>= 1.5x expected on
+ * AVX2: short-stride sweeps starve per-state vectors, the lane-major
+ * SoA layout never does). Results are bit-identical on every path,
+ * pinned by test_batch.
+ */
+bench::Report
+runBatch(const Options &opt)
+{
+    std::printf("== batch_soa (SoA trajectory batching, backend %s, "
+                "%zu lanes) ==\n",
+                sim::simdBackendName(), sim::simdLanes());
+    bench::Report rep = reportSkeleton("batch_soa", opt.smoke);
+
+    const std::vector<std::size_t> widths =
+        opt.smoke ? std::vector<std::size_t>{10, 14}
+                  : std::vector<std::size_t>{8, 10, 12, 14, 18, 22};
+    const std::vector<std::size_t> batches =
+        opt.smoke ? std::vector<std::size_t>{1, 4, 8}
+                  : std::vector<std::size_t>{1, 4, 8, 16};
+    const int rounds = opt.smoke ? 2 : 3;
+    // Skip configs whose SoA arrays would exceed 2^25 amplitude-lanes
+    // (0.5 GiB of split doubles) — the wide end only needs small B to
+    // make its point anyway.
+    const std::size_t maxAmpLanes = std::size_t{1} << 25;
+
+    linalg::Rng rng(29);
+    for (const std::size_t n : widths) {
+        // QV-like plan: two layers of Haar SU(4) blocks on adjacent
+        // pairs, covering every stride down to the shortest (where the
+        // per-state path falls back to scalar kernels).
+        circuit::Circuit c(n);
+        for (std::size_t layer = 0; layer < 2; ++layer)
+            for (std::size_t q = layer % 2; q + 1 < n; q += 2)
+                c.add(linalg::haarSU(rng, 4), {q, q + 1});
+        const sim::Plan plan = sim::compile(c);
+        const std::size_t dim = std::size_t{1} << n;
+        const std::size_t T = n <= 14 ? 16 : 8;
+
+        volatile double sink = 0.0;
+        const double tSerial = bestSeconds(rounds, [&] {
+            for (std::size_t t = 0; t < T; ++t) {
+                CVector amps(dim, Complex{0.0, 0.0});
+                amps[0] = 1.0;
+                sim::execute(plan, amps.data());
+                sink = sink + amps[dim - 1].real();
+            }
+        });
+        const double nsSerial = 1e9 * tSerial / static_cast<double>(T);
+
+        for (const std::size_t B : batches) {
+            if (dim * B > maxAmpLanes)
+                continue;
+            const double tBatch = bestSeconds(rounds, [&] {
+                for (std::size_t first = 0; first < T; first += B) {
+                    const std::size_t lanes = std::min(B, T - first);
+                    sim::BatchState batch(n, lanes);
+                    sim::executeBatched(plan, batch);
+                    sink = sink + batch.amp(dim - 1, 0).real();
+                }
+            });
+            const double nsBatch =
+                1e9 * tBatch / static_cast<double>(T);
+            const double speedup =
+                nsBatch > 0.0 ? nsSerial / nsBatch : 0.0;
+            bench::Scenario sc;
+            sc.name = "batch/n=" + std::to_string(n) +
+                      "/B=" + std::to_string(B);
+            sc.params = {{"qubits", static_cast<double>(n)},
+                         {"batch", static_cast<double>(B)},
+                         {"trajectories", static_cast<double>(T)}};
+            sc.metrics = {
+                {"ns_per_trajectory", nsBatch, "ns"},
+                {"baseline_ns_per_trajectory", nsSerial, "ns"},
+                {"speedup_vs_trajparallel", speedup, "x"}};
+            std::printf("  %-18s %12.1f ns/traj   per-state %12.1f "
+                        "ns/traj   speedup %.2fx\n",
+                        sc.name.c_str(), nsBatch, nsSerial, speedup);
+            rep.scenarios.push_back(std::move(sc));
+        }
+    }
+
+    return rep;
+}
+
 bench::Report
 runTranspile(const Options &opt)
 {
@@ -527,6 +620,78 @@ runObsOverhead(const Options &opt)
                 enabledPct);
     rep.scenarios.push_back(std::move(sc));
 
+    // Batched-sweep leg: the same zero-cost-when-off contract for the
+    // SoA execution path (sim::executeOpBatched vs. the raw batched
+    // kernel), at a smaller width times the batch so the work per
+    // sweep is comparable.
+    {
+        const std::size_t nb = opt.smoke ? 12 : 16;
+        const std::size_t B = 8;
+        sim::BatchState batch(nb, B);
+        sim::KernelOp opb;
+        opb.kind = sim::KernelKind::TwoQ;
+        opb.q0 = nb / 3;
+        opb.q1 = (2 * nb) / 3;
+        const Matrix ub = linalg::haarUnitary(rng, 4);
+        for (std::size_t i = 0; i < 16; ++i)
+            opb.m[i] = ub(i / 4, i % 4);
+
+        const double tBaseB = bestSeconds(rounds, [&] {
+            for (int s = 0; s < sweepsPerRound; ++s)
+                sim::apply2qBatch(batch.re(), batch.im(), nb, B, opb.q0,
+                                  opb.q1, opb.m.data());
+        });
+        obs::setEnabled(false);
+        const double tDisabledB = bestSeconds(rounds, [&] {
+            for (int s = 0; s < sweepsPerRound; ++s)
+                sim::executeOpBatched(opb, batch, exec);
+        });
+        double tEnabledB = 0.0;
+        if (obs::compiledIn()) {
+            obs::TraceSession local;
+            if (outerEnabled)
+                obs::setEnabled(true);
+            else
+                local.start();
+            tEnabledB = bestSeconds(rounds, [&] {
+                for (int s = 0; s < sweepsPerRound; ++s)
+                    sim::executeOpBatched(opb, batch, exec);
+            });
+            if (!outerEnabled)
+                local.stop();
+        }
+        obs::setEnabled(outerEnabled);
+
+        const double nsBaseB = 1e9 * tBaseB * perSweep;
+        const double nsDisabledB = 1e9 * tDisabledB * perSweep;
+        const double nsEnabledB = 1e9 * tEnabledB * perSweep;
+        const double disabledPctB =
+            nsBaseB > 0.0 ? 100.0 * (nsDisabledB - nsBaseB) / nsBaseB
+                          : 0.0;
+        const double enabledPctB =
+            nsBaseB > 0.0 && obs::compiledIn()
+                ? 100.0 * (nsEnabledB - nsBaseB) / nsBaseB
+                : 0.0;
+
+        bench::Scenario scb;
+        scb.name = "apply2qBatch_sweep/n=" + std::to_string(nb) +
+                   "/B=" + std::to_string(B);
+        scb.params = {
+            {"qubits", static_cast<double>(nb)},
+            {"batch", static_cast<double>(B)},
+            {"sweeps_per_round", static_cast<double>(sweepsPerRound)}};
+        scb.metrics = {{"baseline_ns_per_sweep", nsBaseB, "ns"},
+                       {"disabled_ns_per_sweep", nsDisabledB, "ns"},
+                       {"enabled_ns_per_sweep", nsEnabledB, "ns"},
+                       {"disabled_overhead_pct", disabledPctB, "%"},
+                       {"enabled_overhead_pct", enabledPctB, "%"}};
+        std::printf("  %-22s base %10.1f ns   off %10.1f ns (%+.2f%%)   "
+                    "on %10.1f ns (%+.2f%%)\n",
+                    scb.name.c_str(), nsBaseB, nsDisabledB, disabledPctB,
+                    nsEnabledB, enabledPctB);
+        rep.scenarios.push_back(std::move(scb));
+    }
+
     return rep;
 }
 
@@ -535,7 +700,7 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [micro|sweep|transpile|fig7|obs|all ...] [--smoke]\n"
+        "usage: %s [micro|sweep|batch|transpile|fig7|obs|all ...] [--smoke]\n"
         "          [--scenario FAMILY] [--out-dir DIR] [--trace PATH]\n"
         "\n"
         "Runs the unified benchmark suite and writes BENCH_<name>.json\n"
@@ -560,14 +725,16 @@ main(int argc, char **argv)
     bool scenarioChosen = false;
     const auto selectFamily = [&](const std::string &s) {
         if (!scenarioChosen) {
-            opt.micro = opt.sweep = opt.transpile = opt.fig7 = opt.obs =
-                false;
+            opt.micro = opt.sweep = opt.batch = opt.transpile = opt.fig7 =
+                opt.obs = false;
             scenarioChosen = true;
         }
         if (s == "micro")
             opt.micro = true;
         else if (s == "sweep")
             opt.sweep = true;
+        else if (s == "batch")
+            opt.batch = true;
         else if (s == "transpile")
             opt.transpile = true;
         else if (s == "fig7")
@@ -575,8 +742,8 @@ main(int argc, char **argv)
         else if (s == "obs")
             opt.obs = true;
         else if (s == "all")
-            opt.micro = opt.sweep = opt.transpile = opt.fig7 = opt.obs =
-                true;
+            opt.micro = opt.sweep = opt.batch = opt.transpile = opt.fig7 =
+                opt.obs = true;
         else
             return false;
         return true;
@@ -639,6 +806,8 @@ main(int argc, char **argv)
         runFamily(runMicro);
     if (opt.sweep)
         runFamily(runSweep);
+    if (opt.batch)
+        runFamily(runBatch);
     if (opt.transpile)
         runFamily(runTranspile);
     if (opt.fig7)

@@ -103,6 +103,47 @@ applyDepolarizing(Complex *amps, std::size_t n_qubits, std::size_t qubit_a,
 }
 
 void
+applyDepolarizing(sim::BatchState &batch, std::size_t lane,
+                  std::size_t qubit, double p, linalg::Rng &rng)
+{
+    validateErrorParameter(p);
+    if (lane >= batch.batch())
+        throw std::invalid_argument("applyDepolarizing: lane out of range");
+    if (p <= 0.0)
+        return;
+    if (rng.uniform() >= p)
+        return;
+    sim::applyPauliLane(batch.re(), batch.im(), batch.numQubits(),
+                        batch.batch(), lane, qubit, 1 + rng.index(3));
+}
+
+void
+applyDepolarizing(sim::BatchState &batch, std::size_t lane,
+                  std::size_t qubit_a, std::size_t qubit_b, double p,
+                  linalg::Rng &rng)
+{
+    validateErrorParameter(p);
+    if (lane >= batch.batch())
+        throw std::invalid_argument("applyDepolarizing: lane out of range");
+    if (qubit_a == qubit_b)
+        throw std::invalid_argument(
+            "applyDepolarizing: duplicate qubit in Pauli string");
+    if (p <= 0.0)
+        return;
+    if (rng.uniform() >= p)
+        return;
+    const std::size_t pick = 1 + rng.index(15);
+    const std::size_t onA = pick % 4;
+    const std::size_t onB = pick / 4;
+    if (onA != 0)
+        sim::applyPauliLane(batch.re(), batch.im(), batch.numQubits(),
+                            batch.batch(), lane, qubit_a, onA);
+    if (onB != 0)
+        sim::applyPauliLane(batch.re(), batch.im(), batch.numQubits(),
+                            batch.batch(), lane, qubit_b, onB);
+}
+
+void
 applyDepolarizing(State &state, const std::vector<std::size_t> &qubits,
                   double p, linalg::Rng &rng)
 {

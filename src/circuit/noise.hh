@@ -11,6 +11,7 @@
 
 #include "circuit.hh"
 #include "linalg/random.hh"
+#include "sim/batch_state.hh"
 
 namespace crisc {
 namespace circuit {
@@ -43,6 +44,21 @@ void applyDepolarizing(Complex *amps, std::size_t n_qubits,
 
 /** 2-qubit fast path: no container allocation in the hot loop. */
 void applyDepolarizing(Complex *amps, std::size_t n_qubits,
+                       std::size_t qubit_a, std::size_t qubit_b, double p,
+                       linalg::Rng &rng);
+
+/**
+ * 1-qubit fast path on one lane of an SoA trajectory batch: the
+ * divergence point of batched execution. Draws exactly the same random
+ * sequence from @p rng as the serial 1-qubit fast path, and applies the
+ * sampled Pauli to lane @p lane only (sim::applyPauliLane), so the lane
+ * stays bit-identical to its serial trajectory.
+ */
+void applyDepolarizing(sim::BatchState &batch, std::size_t lane,
+                       std::size_t qubit, double p, linalg::Rng &rng);
+
+/** 2-qubit fast path on one lane of an SoA trajectory batch. */
+void applyDepolarizing(sim::BatchState &batch, std::size_t lane,
                        std::size_t qubit_a, std::size_t qubit_b, double p,
                        linalg::Rng &rng);
 

@@ -78,6 +78,9 @@ validate(const QvConfig &config)
         fail("stateThreads must be non-negative (0 = width heuristic), "
              "got " +
              std::to_string(config.stateThreads));
+    if (config.soaLanes < 0)
+        fail("soaLanes must be non-negative (0 = width heuristic), got " +
+             std::to_string(config.soaLanes));
     if (!(config.czError >= 0.0 && config.czError <= 1.0))
         fail("czError must lie in [0, 1], got " +
              std::to_string(config.czError));
@@ -137,28 +140,33 @@ heavyOutputExperiment(const QvConfig &config)
     const std::size_t n = map.numQubits();
     const transpile::Route routePass;
     const WeylPoint swapPoint = ashn::swapPoint();
-    // Two parallel axes (batch.hh): concurrent trajectories, and
-    // state-parallel sweeps within each. stateThreads == 0 asks the
-    // width heuristic to split the `threads` budget across both; the
-    // width that matters is the *simulated* register size (compacted
-    // routed qubits, >= d), so the runner is built lazily once the
-    // first circuit has been routed. The choice never affects results,
-    // so one representative circuit suffices.
+    // Three parallel axes (batch.hh): concurrent trajectories,
+    // state-parallel sweeps within each, and SoA trajectory batching
+    // with SIMD lanes across trajectories. stateThreads == 0 asks the
+    // width heuristic to split the `threads` budget across the first
+    // two; soaLanes == 0 asks it for the SoA batch width. The width
+    // that matters is the *simulated* register size (compacted routed
+    // qubits, >= d), so the runner is built lazily once the first
+    // circuit has been routed. The choice never affects results, so
+    // one representative circuit suffices.
     std::optional<sim::TrajectoryRunner> runner;
     std::optional<sim::ThreadPool> idealPool;
     sim::ExecOptions idealExec;
+    std::size_t soaLanes = 1;
     const auto ensureRunner = [&](std::size_t sim_width) {
         if (runner)
             return;
-        sim::BatchPlan split;
-        if (config.stateThreads == 0) {
-            split = sim::planBatch(
-                static_cast<std::size_t>(config.threads), sim_width,
-                static_cast<std::size_t>(config.trajectories));
-        } else {
-            split = {static_cast<std::size_t>(config.threads),
-                     static_cast<std::size_t>(config.stateThreads)};
-        }
+        const std::size_t total = sim::resolveThreads(
+            static_cast<std::size_t>(config.threads));
+        const sim::BatchPlan heur = sim::planBatch(
+            total, sim_width,
+            static_cast<std::size_t>(config.trajectories));
+        sim::BatchPlan split = heur;
+        if (config.stateThreads != 0)
+            split = {total, static_cast<std::size_t>(config.stateThreads)};
+        soaLanes = config.soaLanes == 0
+                       ? heur.soaLanes
+                       : static_cast<std::size_t>(config.soaLanes);
         runner.emplace(split.trajWorkers, split.stateThreads);
         // The per-circuit ideal simulation runs before the trajectory
         // fan-out, so it may use the whole budget for its sweeps
@@ -309,40 +317,83 @@ heavyOutputExperiment(const QvConfig &config)
             logicalIndex[phys] = logical;
         }
 
-        // --- Noisy trajectories, fanned out over both parallel axes.
-        // Each trajectory owns a statevector and an RNG stream derived
-        // from (seed, circuit, trajectory); its quad sweeps run on the
-        // leased sweep pool when state-parallelism is on.
-        heavySum += runner->sum(
-            static_cast<std::size_t>(config.trajectories),
-            sim::streamSeed(config.seed, circuitStream + 1),
-            [&](std::size_t, linalg::Rng &rng,
-                const sim::ExecOptions &exec) {
-                OBS_SPAN("qv.trajectory");
-                OBS_COUNT("qv.trajectories", 1);
-                linalg::CVector amps(simDim, Complex{0.0, 0.0});
-                amps[0] = 1.0;
-                for (const PhysicalOp &op : ops) {
-                    sim::executeOp(op.kernel, amps.data(), nc, exec);
-                    const std::size_t qa = op.kernel.q0;
-                    const std::size_t qb = op.kernel.q1;
-                    for (int g = 0; g < op.natives; ++g) {
-                        circuit::applyDepolarizing(amps.data(), nc, qa,
-                                                   qb, op.p2, rng);
-                        circuit::applyDepolarizing(
-                            amps.data(), nc, qa,
-                            noise.singleQubitError, rng);
-                        circuit::applyDepolarizing(
-                            amps.data(), nc, qb,
-                            noise.singleQubitError, rng);
+        // --- Noisy trajectories, fanned out over the parallel axes.
+        // Each trajectory owns its statevector (or SoA lane) and an
+        // RNG stream derived from (seed, circuit, trajectory); its
+        // quad sweeps run on the leased sweep pool when
+        // state-parallelism is on. The batched arm applies every gate
+        // to all lanes in one SoA sweep and diverges only at the
+        // per-lane noise draws, so each lane is bit-identical to the
+        // serial trajectory with the same index.
+        const std::uint64_t trajSeed =
+            sim::streamSeed(config.seed, circuitStream + 1);
+        if (soaLanes <= 1) {
+            heavySum += runner->sum(
+                static_cast<std::size_t>(config.trajectories), trajSeed,
+                [&](std::size_t, linalg::Rng &rng,
+                    const sim::ExecOptions &exec) {
+                    OBS_SPAN("qv.trajectory");
+                    OBS_COUNT("qv.trajectories", 1);
+                    linalg::CVector amps(simDim, Complex{0.0, 0.0});
+                    amps[0] = 1.0;
+                    for (const PhysicalOp &op : ops) {
+                        sim::executeOp(op.kernel, amps.data(), nc, exec);
+                        const std::size_t qa = op.kernel.q0;
+                        const std::size_t qb = op.kernel.q1;
+                        for (int g = 0; g < op.natives; ++g) {
+                            circuit::applyDepolarizing(amps.data(), nc,
+                                                       qa, qb, op.p2,
+                                                       rng);
+                            circuit::applyDepolarizing(
+                                amps.data(), nc, qa,
+                                noise.singleQubitError, rng);
+                            circuit::applyDepolarizing(
+                                amps.data(), nc, qb,
+                                noise.singleQubitError, rng);
+                        }
                     }
-                }
-                double hop = 0.0;
-                for (std::size_t phys = 0; phys < simDim; ++phys)
-                    if (heavy[logicalIndex[phys]])
-                        hop += std::norm(amps[phys]);
-                return hop;
-            });
+                    double hop = 0.0;
+                    for (std::size_t phys = 0; phys < simDim; ++phys)
+                        if (heavy[logicalIndex[phys]])
+                            hop += std::norm(amps[phys]);
+                    return hop;
+                });
+        } else {
+            heavySum += runner->sumBatched(
+                static_cast<std::size_t>(config.trajectories), trajSeed,
+                soaLanes,
+                [&](std::size_t, std::size_t lanes, linalg::Rng *rngs,
+                    const sim::ExecOptions &exec, double *out) {
+                    OBS_SPAN("qv.trajectory_batch");
+                    OBS_COUNT("qv.trajectories", lanes);
+                    sim::BatchState batch(nc, lanes);
+                    for (const PhysicalOp &op : ops) {
+                        sim::executeOpBatched(op.kernel, batch, exec);
+                        const std::size_t qa = op.kernel.q0;
+                        const std::size_t qb = op.kernel.q1;
+                        for (std::size_t l = 0; l < lanes; ++l) {
+                            for (int g = 0; g < op.natives; ++g) {
+                                circuit::applyDepolarizing(
+                                    batch, l, qa, qb, op.p2, rngs[l]);
+                                circuit::applyDepolarizing(
+                                    batch, l, qa,
+                                    noise.singleQubitError, rngs[l]);
+                                circuit::applyDepolarizing(
+                                    batch, l, qb,
+                                    noise.singleQubitError, rngs[l]);
+                            }
+                        }
+                    }
+                    for (std::size_t l = 0; l < lanes; ++l) {
+                        double hop = 0.0;
+                        for (std::size_t phys = 0; phys < simDim;
+                             ++phys)
+                            if (heavy[logicalIndex[phys]])
+                                hop += std::norm(batch.amp(phys, l));
+                        out[l] = hop;
+                    }
+                });
+        }
     }
 
     QvResult out;

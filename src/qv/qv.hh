@@ -60,6 +60,17 @@ struct QvConfig
      */
     int stateThreads = 1;
     /**
+     * SoA trajectory batching (the third parallel axis,
+     * sim::BatchState): number of trajectories packed into one SoA
+     * batch per trajectory slot, so SIMD lanes run across trajectories.
+     * 0 = pick automatically from the simulated width via
+     * sim::planBatch (the SIMD lane count below 18 qubits, 1 above),
+     * 1 = off (per-state path), n > 1 = force a batch width of n.
+     * Results are bit-for-bit identical for any value; negative values
+     * are rejected with std::invalid_argument.
+     */
+    int soaLanes = 0;
+    /**
      * Run against this device instead of the canned grid preset built
      * from (width, native, ashnCutoff, czError, singleQubitError).
      * Must have at least `width` qubits.

@@ -1,6 +1,9 @@
 #include "batch.hh"
 
+#include <stdexcept>
+
 #include "obs/obs.hh"
+#include "sim/kernels.hh"
 
 namespace crisc {
 namespace sim {
@@ -191,8 +194,6 @@ sumTrajectories(ThreadPool &pool, std::size_t count, std::uint64_t base_seed,
     return sum;
 }
 
-namespace {
-
 std::size_t
 resolveThreads(std::size_t requested)
 {
@@ -202,27 +203,38 @@ resolveThreads(std::size_t requested)
     return hw == 0 ? 1 : hw;
 }
 
-} // namespace
-
 BatchPlan
 planBatch(std::size_t total_threads, std::size_t width, std::size_t count)
 {
     // Width bands (see batch.hh): below 18 qubits a sweep is too short
-    // to amortize fork/join, so the trajectory axis takes everything;
-    // from 26 qubits a statevector is ~GiB-scale and only one fits
-    // comfortably, so the sweep axis takes everything; in between, the
-    // number of concurrent statevectors is capped by a per-width memory
-    // budget and spare threads move to the sweep axis.
+    // to amortize fork/join, so the trajectory axis takes everything
+    // and SIMD lanes run across trajectories (per-state vectors starve
+    // at the short strides these widths produce); from 26 qubits a
+    // statevector is ~GiB-scale and only one fits comfortably, so the
+    // sweep axis takes everything; in between, the number of concurrent
+    // statevectors is capped by a per-width memory budget and spare
+    // threads move to the sweep axis.
     constexpr std::size_t kTrajOnlyBelowWidth = 18;
     constexpr std::size_t kStateOnlyFromWidth = 26;
 
-    const std::size_t total = resolveThreads(total_threads);
-    if (total == 1 || count == 0)
-        return {1, 1};
+    if (width == 0)
+        throw std::invalid_argument("planBatch: width must be at least 1");
+    if (total_threads == 0)
+        throw std::invalid_argument(
+            "planBatch: total_threads must be at least 1 (use "
+            "resolveThreads for a hardware default)");
+
+    const std::size_t total = total_threads;
+    const std::size_t soa =
+        width < kTrajOnlyBelowWidth ? simdLanes() : 1;
+    if (count == 0)
+        return {1, 1, 1};
+    if (total == 1)
+        return {1, 1, soa};
     if (width < kTrajOnlyBelowWidth)
-        return {total, 1};
+        return {total, 1, soa};
     if (width >= kStateOnlyFromWidth)
-        return {1, total};
+        return {1, total, 1};
     const std::size_t memCap = std::size_t{1}
                                << (kStateOnlyFromWidth - width);
     std::size_t limit = total;
@@ -259,6 +271,9 @@ TrajectoryRunner::TrajectoryRunner(std::size_t traj_workers,
         // acquireStatePool never starves.
         statePools_.reserve(trajPool_.size());
         for (std::size_t i = 0; i < trajPool_.size(); ++i) {
+            // Counted so tests can pin that the pure trajectory-
+            // parallel arm (stateThreads <= 1) spawns no sweep pools.
+            OBS_COUNT("traj.state_pool_spawns", 1);
             statePools_.push_back(
                 std::make_unique<ThreadPool>(stateThreads_));
             freePools_.push_back(statePools_.back().get());
@@ -322,6 +337,61 @@ TrajectoryRunner::sum(std::size_t count, std::uint64_t base_seed,
                       const Body &body)
 {
     const std::vector<double> results = run(count, base_seed, body);
+    double total = 0.0;
+    for (double r : results)
+        total += r;
+    return total;
+}
+
+std::vector<double>
+TrajectoryRunner::runBatched(std::size_t count, std::uint64_t base_seed,
+                             std::size_t lanes, const BatchBody &body)
+{
+    if (lanes == 0)
+        throw std::invalid_argument(
+            "runBatched: lanes must be at least 1");
+    if (count == 0)
+        return {};
+    const std::size_t tiles = (count + lanes - 1) / lanes;
+    std::vector<double> results(count, 0.0);
+    trajPool_.parallelFor(tiles, [&](std::size_t tile) {
+        OBS_SPAN("traj.tile");
+        const std::size_t first = tile * lanes;
+        const std::size_t rest = count - first;
+        const std::size_t width = rest < lanes ? rest : lanes;
+        OBS_COUNT("traj.count", width);
+        // Same stream seeds as run(): lane l is trajectory first + l.
+        std::vector<linalg::Rng> rngs;
+        rngs.reserve(width);
+        for (std::size_t l = 0; l < width; ++l)
+            rngs.emplace_back(streamSeed(base_seed, first + l));
+        ExecOptions exec;
+        ThreadPool *state = nullptr;
+        if (stateThreads_ > 1) {
+            state = acquireStatePool();
+            exec.pool = state;
+            exec.threads = state->size();
+        }
+        try {
+            body(first, width, rngs.data(), exec,
+                 results.data() + first);
+        } catch (...) {
+            if (state != nullptr)
+                releaseStatePool(state);
+            throw;
+        }
+        if (state != nullptr)
+            releaseStatePool(state);
+    });
+    return results;
+}
+
+double
+TrajectoryRunner::sumBatched(std::size_t count, std::uint64_t base_seed,
+                             std::size_t lanes, const BatchBody &body)
+{
+    const std::vector<double> results =
+        runBatched(count, base_seed, lanes, body);
     double total = 0.0;
     for (double r : results)
         total += r;

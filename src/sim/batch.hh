@@ -12,12 +12,14 @@
  *     sequentially afterwards, so floating-point summation order is
  *     fixed regardless of thread count (including 1).
  *
- * Trajectories are one of two orthogonal parallel axes. The other —
+ * Trajectories are one of three orthogonal parallel axes. The second —
  * state-parallel kernel sweeps, where one statevector's amplitude
  * groups are partitioned over a pool (engine.hh) — is configured by
- * ExecOptions, and TrajectoryRunner / planBatch combine the two: small
- * registers go trajectory-parallel, very wide registers state-parallel,
- * and the band in between hybrid (a few concurrent trajectories, each
+ * ExecOptions. The third packs several trajectories into one SoA batch
+ * (batch_state.hh) so SIMD lanes run across trajectories; planBatch
+ * combines all three: small registers go trajectory-parallel with
+ * SoA-batched lanes per slot, very wide registers state-parallel, and
+ * the band in between hybrid (a few concurrent trajectories, each
  * sweeping with its own slice of the thread budget). Every combination
  * is bit-for-bit identical to the serial run.
  */
@@ -46,6 +48,10 @@ namespace sim {
  * pairs give statistically independent mt19937_64 seeds.
  */
 std::uint64_t streamSeed(std::uint64_t base, std::uint64_t stream);
+
+/** Resolves a requested thread count: 0 means hardware concurrency
+ *  (at least 1), anything else is returned unchanged. */
+std::size_t resolveThreads(std::size_t requested);
 
 /**
  * A pool of persistent worker threads executing indexed task batches.
@@ -127,27 +133,33 @@ struct ExecOptions
 };
 
 /**
- * How a thread budget is split across the two parallel axes:
- * trajWorkers concurrent trajectories, each sweeping its statevector
- * with stateThreads workers.
+ * How a thread budget is split across the three parallel axes:
+ * trajWorkers concurrent trajectory slots, each sweeping its state
+ * with stateThreads workers and packing soaLanes trajectories into one
+ * SoA batch (batch_state.hh) so SIMD lanes run across trajectories.
  */
 struct BatchPlan
 {
     std::size_t trajWorkers = 1;
     std::size_t stateThreads = 1;
+    std::size_t soaLanes = 1;
 };
 
 /**
  * Width heuristic choosing trajectory-parallel vs. state-parallel vs.
  * hybrid execution for @p count trajectories of a @p width qubit
- * register, given @p total_threads workers (0 = hardware concurrency).
- * Narrow registers (< 18 qubits) go trajectory-parallel (sweeps are too
- * short to amortize the fork/join), very wide ones (>= 26 qubits,
- * ~GiB statevectors) fully state-parallel, and the band in between
+ * register, given @p total_threads workers. Narrow registers
+ * (< 18 qubits) go trajectory-parallel (sweeps are too short to
+ * amortize the fork/join) with soaLanes set to the SIMD lane count —
+ * per-state vectors starve at short strides there, so the lanes run
+ * across trajectories instead; very wide ones (>= 26 qubits, ~GiB
+ * statevectors) go fully state-parallel, and the band in between
  * hybrid: concurrent statevectors are capped by a per-width memory
  * budget of 2^(26 - width), and the split maximizes used threads, so
  * spare budget moves to the sweep axis when trajectories are scarce.
  * The choice never affects results, only scheduling.
+ * @throws std::invalid_argument when width == 0 or total_threads == 0
+ *         (resolve a hardware default with resolveThreads() first).
  */
 BatchPlan planBatch(std::size_t total_threads, std::size_t width,
                     std::size_t count);
@@ -177,6 +189,18 @@ class TrajectoryRunner
     std::size_t trajWorkers() const { return trajPool_.size(); }
     std::size_t stateThreads() const { return stateThreads_; }
 
+    /**
+     * Body form for SoA-batched tiles: runs trajectories
+     * [first, first + lanes), with rngs[l] the stream RNG of
+     * trajectory first + l (seeded streamSeed(base_seed, first + l),
+     * exactly as the per-trajectory Body sees), and writes each
+     * trajectory's result to out[l].
+     */
+    using BatchBody =
+        std::function<void(std::size_t first, std::size_t lanes,
+                           linalg::Rng *rngs, const ExecOptions &,
+                           double *out)>;
+
     /** runTrajectories over both axes; same determinism contract. */
     std::vector<double> run(std::size_t count, std::uint64_t base_seed,
                             const Body &body);
@@ -184,6 +208,24 @@ class TrajectoryRunner
     /** run followed by a fixed-order sum. */
     double sum(std::size_t count, std::uint64_t base_seed,
                const Body &body);
+
+    /**
+     * Like run, but dispatches trajectories in tiles of up to
+     * @p lanes — the SoA batch width the body packs into one
+     * BatchState. The final tile carries count % lanes trajectories
+     * when count is not a multiple. RNG streams and the result order
+     * match run() exactly, so a body that executes each lane's
+     * trajectory faithfully is bit-identical to the unbatched path.
+     * @throws std::invalid_argument when lanes == 0.
+     */
+    std::vector<double> runBatched(std::size_t count,
+                                   std::uint64_t base_seed,
+                                   std::size_t lanes,
+                                   const BatchBody &body);
+
+    /** runBatched followed by a fixed-order sum. */
+    double sumBatched(std::size_t count, std::uint64_t base_seed,
+                      std::size_t lanes, const BatchBody &body);
 
   private:
     ThreadPool *acquireStatePool();

@@ -1,0 +1,83 @@
+#include "batch_state.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace crisc {
+namespace sim {
+
+BatchState::BatchState(std::size_t n_qubits, std::size_t batch)
+    : nQubits_(n_qubits), batch_(batch)
+{
+    if (batch == 0)
+        throw std::invalid_argument("BatchState: batch must be at least 1");
+    const std::size_t total = dim() * batch_;
+    re_.assign(total, 0.0);
+    im_.assign(total, 0.0);
+    for (std::size_t t = 0; t < batch_; ++t)
+        re_[t] = 1.0; // |0...0> in every lane.
+}
+
+BatchState
+BatchState::pack(const std::vector<linalg::CVector> &states)
+{
+    if (states.empty())
+        throw std::invalid_argument("BatchState::pack: empty batch");
+    const std::size_t dim = states[0].size();
+    if (dim == 0 || (dim & (dim - 1)) != 0)
+        throw std::invalid_argument(
+            "BatchState::pack: statevector length must be a power of two, "
+            "got " +
+            std::to_string(dim));
+    std::size_t n = 0;
+    while ((std::size_t{1} << n) < dim)
+        ++n;
+    BatchState out(n, states.size());
+    for (std::size_t t = 0; t < states.size(); ++t)
+        out.packLane(t, states[t]);
+    return out;
+}
+
+void
+BatchState::packLane(std::size_t lane, const linalg::CVector &amps)
+{
+    if (lane >= batch_)
+        throw std::invalid_argument("BatchState::packLane: lane " +
+                                    std::to_string(lane) +
+                                    " out of range");
+    if (amps.size() != dim())
+        throw std::invalid_argument(
+            "BatchState::packLane: statevector has " +
+            std::to_string(amps.size()) + " amplitudes, batch expects " +
+            std::to_string(dim()));
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        re_[i * batch_ + lane] = amps[i].real();
+        im_[i * batch_ + lane] = amps[i].imag();
+    }
+}
+
+linalg::CVector
+BatchState::unpackLane(std::size_t lane) const
+{
+    if (lane >= batch_)
+        throw std::invalid_argument("BatchState::unpackLane: lane " +
+                                    std::to_string(lane) +
+                                    " out of range");
+    linalg::CVector amps(dim());
+    for (std::size_t i = 0; i < amps.size(); ++i)
+        amps[i] = {re_[i * batch_ + lane], im_[i * batch_ + lane]};
+    return amps;
+}
+
+std::vector<linalg::CVector>
+BatchState::unpack() const
+{
+    std::vector<linalg::CVector> out;
+    out.reserve(batch_);
+    for (std::size_t t = 0; t < batch_; ++t)
+        out.push_back(unpackLane(t));
+    return out;
+}
+
+} // namespace sim
+} // namespace crisc

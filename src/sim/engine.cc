@@ -338,6 +338,114 @@ executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits,
 }
 
 void
+executeOpBatched(const KernelOp &op, BatchState &batch)
+{
+    double *re = batch.re();
+    double *im = batch.im();
+    const std::size_t n = batch.numQubits();
+    const std::size_t b = batch.batch();
+    switch (op.kind) {
+      case KernelKind::OneQ:
+        apply1qBatch(re, im, n, b, op.q0, op.m.data());
+        return;
+      case KernelKind::OneQDiag:
+        apply1qDiagBatch(re, im, n, b, op.q0, op.m[0], op.m[1]);
+        return;
+      case KernelKind::TwoQ:
+        apply2qBatch(re, im, n, b, op.q0, op.q1, op.m.data());
+        return;
+      case KernelKind::TwoQDiag:
+        apply2qDiagBatch(re, im, n, b, op.q0, op.q1, op.m.data());
+        return;
+      case KernelKind::Dense:
+        applyDenseBatch(re, im, n, b, op.dense, op.qubits);
+        return;
+    }
+    throw std::logic_error("executeOpBatched: unknown kernel kind");
+}
+
+void
+executeOpBatchedRange(const KernelOp &op, BatchState &batch,
+                      std::size_t group_begin, std::size_t group_end)
+{
+    double *re = batch.re();
+    double *im = batch.im();
+    const std::size_t n = batch.numQubits();
+    const std::size_t b = batch.batch();
+    switch (op.kind) {
+      case KernelKind::OneQ:
+        apply1qBatchRange(re, im, n, b, op.q0, op.m.data(), group_begin,
+                          group_end);
+        return;
+      case KernelKind::OneQDiag:
+        apply1qDiagBatchRange(re, im, n, b, op.q0, op.m[0], op.m[1],
+                              group_begin, group_end);
+        return;
+      case KernelKind::TwoQ:
+        apply2qBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(),
+                          group_begin, group_end);
+        return;
+      case KernelKind::TwoQDiag:
+        apply2qDiagBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(),
+                              group_begin, group_end);
+        return;
+      case KernelKind::Dense:
+        applyDenseBatchRange(re, im, n, b, op.dense, op.qubits,
+                             group_begin, group_end);
+        return;
+    }
+    throw std::logic_error("executeOpBatchedRange: unknown kernel kind");
+}
+
+void
+executeOpBatched(const KernelOp &op, BatchState &batch,
+                 const ExecOptions &opts)
+{
+    OBS_SPAN("sim.sweep_batched");
+    ThreadPool *pool = opts.pool;
+    const std::size_t groups = opGroupCount(op, batch.numQubits());
+    // Each group carries batch() lanes of work, so the serial cutoff
+    // scales down with the batch width (but never below one granule).
+    const std::size_t scaled = kMinParallelGroups / batch.batch();
+    const std::size_t minGroups =
+        scaled > kChunkGranule ? scaled : kChunkGranule;
+    if (pool == nullptr || pool->size() <= 1 || groups < minGroups) {
+        executeOpBatched(op, batch);
+        return;
+    }
+    const std::size_t chunk = chunkFor(groups, pool->size(), opts.chunk);
+    const std::size_t tasks = (groups + chunk - 1) / chunk;
+    OBS_COUNT("sim.chunks", tasks);
+    pool->parallelFor(tasks, [&](std::size_t t) {
+        const std::size_t g0 = t * chunk;
+        const std::size_t g1 = g0 + chunk < groups ? g0 + chunk : groups;
+        executeOpBatchedRange(op, batch, g0, g1);
+    });
+}
+
+void
+executeBatched(const Plan &plan, BatchState &batch, const ExecOptions &opts)
+{
+    if (batch.numQubits() != plan.numQubits())
+        throw std::invalid_argument(
+            "executeBatched: batch width does not match plan width");
+    OBS_SPAN("sim.plan_batched");
+    if (opts.pool == nullptr && opts.threads == 1) {
+        for (const KernelOp &op : plan.ops())
+            executeOpBatched(op, batch);
+        return;
+    }
+    std::optional<ThreadPool> transient;
+    ExecOptions resolved = opts;
+    if (resolved.pool == nullptr) {
+        transient.emplace(opts.threads);
+        resolved.pool = &*transient;
+    }
+    for (const KernelOp &op : plan.ops())
+        executeOpBatched(op, batch, resolved);
+}
+
+void
 execute(const Plan &plan, Complex *amps)
 {
     OBS_SPAN("sim.plan");

@@ -38,6 +38,7 @@
 
 #include "circuit/circuit.hh"
 #include "sim/batch.hh"
+#include "sim/batch_state.hh"
 #include "sim/kernels.hh"
 
 namespace crisc {
@@ -152,6 +153,43 @@ void execute(const Plan &plan, Complex *amps);
  * transient pool serves the whole plan execution.
  */
 void execute(const Plan &plan, Complex *amps, const ExecOptions &opts);
+
+// ---------------------------------------------------------------------
+// Batched (SoA) execution: the third parallel axis. One plan is applied
+// to every lane of a sim::BatchState at once; the batched kernels run
+// SIMD lanes across the trajectory axis while replaying each lane's
+// serial per-amplitude operation sequence, so lane t after
+// executeBatched is bit-identical to executing the plan serially on
+// statevector t. Composes with state-parallel chunking: the group axis
+// partitions exactly as in executeOp, a group (all its lanes) is never
+// split.
+// ---------------------------------------------------------------------
+
+/** Executes one lowered operation on every lane of a batch. */
+void executeOpBatched(const KernelOp &op, BatchState &batch);
+
+/**
+ * Batched executeOp with state-parallel sweeps per @p opts. Serial when
+ * no pool is set, the pool has one thread, or the sweep is too small.
+ */
+void executeOpBatched(const KernelOp &op, BatchState &batch,
+                      const ExecOptions &opts);
+
+/**
+ * Executes groups [group_begin, group_end) of one operation's sweep on
+ * every lane of a batch; the batched parallel substrate.
+ */
+void executeOpBatchedRange(const KernelOp &op, BatchState &batch,
+                           std::size_t group_begin, std::size_t group_end);
+
+/**
+ * Executes a plan in place on every lane of a batch, state-parallel per
+ * @p opts (serial by default; bit-identical either way).
+ * @throws std::invalid_argument when the batch width does not match the
+ *         plan width.
+ */
+void executeBatched(const Plan &plan, BatchState &batch,
+                    const ExecOptions &opts = {});
 
 /** Executes a plan on |0...0> and returns the resulting statevector. */
 linalg::CVector run(const Plan &plan);

@@ -76,6 +76,36 @@ void apply2q(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
 void apply2qDiag(Complex *amps, std::size_t n_qubits, std::size_t q_hi,
                  std::size_t q_lo, const Complex d[4]);
 
+// Batched (trajectory-major SoA) references: @p batch lanes of each
+// amplitude stored contiguously in split re/im arrays (lane t of
+// amplitude i at re[i * batch + t]; see batch_state.hh). Same
+// per-amplitude operation sequence as the interleaved kernels above,
+// applied to every lane.
+
+/** Batched apply1q over all pairs and lanes. */
+void apply1qBatch(double *re, double *im, std::size_t n_qubits,
+                  std::size_t batch, std::size_t qubit, const Complex m[4]);
+/** Batched apply1qDiag. */
+void apply1qDiagBatch(double *re, double *im, std::size_t n_qubits,
+                      std::size_t batch, std::size_t qubit, Complex d0,
+                      Complex d1);
+/** Batched applyPauli (the same Pauli on every lane). */
+void applyPauliBatch(double *re, double *im, std::size_t n_qubits,
+                     std::size_t batch, std::size_t qubit,
+                     std::size_t pauli_index);
+/** Batched apply2q. */
+void apply2qBatch(double *re, double *im, std::size_t n_qubits,
+                  std::size_t batch, std::size_t q_hi, std::size_t q_lo,
+                  const Complex m[16]);
+/** Batched apply2qDiag. */
+void apply2qDiagBatch(double *re, double *im, std::size_t n_qubits,
+                      std::size_t batch, std::size_t q_hi,
+                      std::size_t q_lo, const Complex d[4]);
+/** Batched applyDense. */
+void applyDenseBatch(double *re, double *im, std::size_t n_qubits,
+                     std::size_t batch, const Matrix &op,
+                     const std::vector<std::size_t> &qubits);
+
 /** Pair-range form of apply1q: pairs [pair_begin, pair_end). */
 void apply1qRange(Complex *amps, std::size_t n_qubits, std::size_t qubit,
                   const Complex m[4], std::size_t pair_begin,
@@ -171,6 +201,83 @@ void apply2qDiagRange(Complex *amps, std::size_t n_qubits,
 void applyDenseRange(Complex *amps, std::size_t n_qubits, const Matrix &op,
                      const std::vector<std::size_t> &qubits,
                      std::size_t group_begin, std::size_t group_end);
+
+// ---------------------------------------------------------------------
+// Batched (trajectory-major SoA) kernels: @p batch lanes of every
+// amplitude stored contiguously in split re/im arrays (batch_state.hh),
+// so the SIMD vectors below run across trajectories — whole vectors at
+// a time, plus a scalar tail covering batch % lanes — instead of across
+// amplitudes. Every lane replays the per-amplitude IEEE operation
+// sequence of the serial kernels above (including their stride-
+// dependent negation flavour for Pauli Y/Z), so lane t of a batched
+// sweep is bit-identical to running the serial kernel on statevector t
+// alone. The *BatchRange forms partition the same group axis as the
+// interleaved *Range kernels — a group (all its lanes) is never split.
+// ---------------------------------------------------------------------
+
+/** apply1qBatch restricted to amplitude pairs [pair_begin, pair_end). */
+void apply1qBatchRange(double *re, double *im, std::size_t n_qubits,
+                       std::size_t batch, std::size_t qubit,
+                       const Complex m[4], std::size_t pair_begin,
+                       std::size_t pair_end);
+
+/** apply1qDiagBatch restricted to pairs [pair_begin, pair_end). */
+void apply1qDiagBatchRange(double *re, double *im, std::size_t n_qubits,
+                           std::size_t batch, std::size_t qubit,
+                           Complex d0, Complex d1, std::size_t pair_begin,
+                           std::size_t pair_end);
+
+/** applyPauliBatch restricted to pairs [pair_begin, pair_end). */
+void applyPauliBatchRange(double *re, double *im, std::size_t n_qubits,
+                          std::size_t batch, std::size_t qubit,
+                          std::size_t pauli_index, std::size_t pair_begin,
+                          std::size_t pair_end);
+
+/** apply2qBatch restricted to amplitude quads [quad_begin, quad_end). */
+void apply2qBatchRange(double *re, double *im, std::size_t n_qubits,
+                       std::size_t batch, std::size_t q_hi,
+                       std::size_t q_lo, const Complex m[16],
+                       std::size_t quad_begin, std::size_t quad_end);
+
+/** apply2qDiagBatch restricted to quads [quad_begin, quad_end). */
+void apply2qDiagBatchRange(double *re, double *im, std::size_t n_qubits,
+                           std::size_t batch, std::size_t q_hi,
+                           std::size_t q_lo, const Complex d[4],
+                           std::size_t quad_begin, std::size_t quad_end);
+
+/** applyDenseBatch restricted to groups [group_begin, group_end). */
+void applyDenseBatchRange(double *re, double *im, std::size_t n_qubits,
+                          std::size_t batch, const Matrix &op,
+                          const std::vector<std::size_t> &qubits,
+                          std::size_t group_begin, std::size_t group_end);
+
+/** Full-sweep forms of the *BatchRange kernels above. */
+void apply1qBatch(double *re, double *im, std::size_t n_qubits,
+                  std::size_t batch, std::size_t qubit, const Complex m[4]);
+void apply1qDiagBatch(double *re, double *im, std::size_t n_qubits,
+                      std::size_t batch, std::size_t qubit, Complex d0,
+                      Complex d1);
+void applyPauliBatch(double *re, double *im, std::size_t n_qubits,
+                     std::size_t batch, std::size_t qubit,
+                     std::size_t pauli_index);
+void apply2qBatch(double *re, double *im, std::size_t n_qubits,
+                  std::size_t batch, std::size_t q_hi, std::size_t q_lo,
+                  const Complex m[16]);
+void apply2qDiagBatch(double *re, double *im, std::size_t n_qubits,
+                      std::size_t batch, std::size_t q_hi, std::size_t q_lo,
+                      const Complex d[4]);
+void applyDenseBatch(double *re, double *im, std::size_t n_qubits,
+                     std::size_t batch, const Matrix &op,
+                     const std::vector<std::size_t> &qubits);
+
+/**
+ * Applies a Pauli to a single lane of a batch — the divergence point of
+ * batched trajectory execution (each lane samples its own noise).
+ * Bit-identical to sim::applyPauli on that lane's statevector.
+ */
+void applyPauliLane(double *re, double *im, std::size_t n_qubits,
+                    std::size_t batch, std::size_t lane, std::size_t qubit,
+                    std::size_t pauli_index);
 
 /**
  * True when every off-diagonal entry of the square matrix is exactly

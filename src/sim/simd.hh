@@ -4,7 +4,10 @@
  * (structure-of-arrays) complex vector type `CVec` holding kLanes
  * real parts and kLanes imaginary parts in separate hardware vectors,
  * with deinterleaving loads / interleaving stores from the library's
- * interleaved std::complex<double> statevectors.
+ * interleaved std::complex<double> statevectors, plus plain contiguous
+ * loads / stores (loads / stores) for data that is already split into
+ * separate re/im double arrays — the batched trajectory layout of
+ * sim::BatchState.
  *
  * Exactly one backend is compiled in, selected at configure time by the
  * CRISC_SIMD CMake option (auto / avx2 / neon / scalar), which defines
@@ -84,6 +87,21 @@ storec(std::complex<double> *p, CVec a)
     _mm256_storeu_pd(d + 4, _mm256_unpackhi_pd(a.re, a.im));
 }
 
+/** Load of kLanes already-split amplitudes (no permutation). */
+inline CVec
+loads(const double *re, const double *im)
+{
+    return {_mm256_loadu_pd(re), _mm256_loadu_pd(im)};
+}
+
+/** Store of kLanes already-split amplitudes; inverse of loads. */
+inline void
+stores(double *re, double *im, CVec a)
+{
+    _mm256_storeu_pd(re, a.re);
+    _mm256_storeu_pd(im, a.im);
+}
+
 inline CVec
 broadcast(std::complex<double> c)
 {
@@ -156,6 +174,19 @@ storec(std::complex<double> *p, CVec a)
 }
 
 inline CVec
+loads(const double *re, const double *im)
+{
+    return {vld1q_f64(re), vld1q_f64(im)};
+}
+
+inline void
+stores(double *re, double *im, CVec a)
+{
+    vst1q_f64(re, a.re);
+    vst1q_f64(im, a.im);
+}
+
+inline CVec
 broadcast(std::complex<double> c)
 {
     return {vdupq_n_f64(c.real()), vdupq_n_f64(c.imag())};
@@ -213,6 +244,19 @@ inline void
 storec(std::complex<double> *p, CVec a)
 {
     *p = {a.re, a.im};
+}
+
+inline CVec
+loads(const double *re, const double *im)
+{
+    return {*re, *im};
+}
+
+inline void
+stores(double *re, double *im, CVec a)
+{
+    *re = a.re;
+    *im = a.im;
 }
 
 inline CVec

@@ -1,0 +1,633 @@
+/**
+ * @file
+ * Tests for SoA-batched trajectory execution (sim/batch_state.hh, the
+ * batched kernels in sim/kernels.hh, sim::executeBatched, and the
+ * TrajectoryRunner SoA arm): pack/unpack round trips, bit-identity of
+ * every batched kernel and of whole-plan batched execution against the
+ * per-lane serial path — including non-power-of-two remainder lanes,
+ * chunked pool sweeps, and the per-lane noise divergence — plus the
+ * planBatch / QvConfig wiring of the third parallel axis.
+ */
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "circuit/noise.hh"
+#include "linalg/random.hh"
+#include "obs/obs.hh"
+#include "qop/gates.hh"
+#include "qv/qv.hh"
+#include "sim/batch.hh"
+#include "sim/batch_state.hh"
+#include "sim/engine.hh"
+#include "sim/kernels.hh"
+#include "sim_test_util.hh"
+
+namespace {
+
+using namespace crisc;
+using linalg::Complex;
+using linalg::CVector;
+using linalg::Matrix;
+using testutil::randomState;
+
+bool
+bitIdentical(const CVector &a, const CVector &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].real() != b[i].real() || a[i].imag() != b[i].imag())
+            return false;
+    return true;
+}
+
+/** One KernelOp of every kind on an n = 10 register, including a dense
+ *  k = 3 fallback — the full dispatch surface of executeBatched. */
+std::vector<sim::KernelOp>
+opsOfEveryKind(linalg::Rng &rng)
+{
+    std::vector<sim::KernelOp> ops;
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::OneQ;
+        op.q0 = 4;
+        const Matrix u = linalg::haarUnitary(rng, 2);
+        for (std::size_t i = 0; i < 4; ++i)
+            op.m[i] = u(i / 2, i % 2);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::OneQDiag;
+        op.q0 = 9; // shortest stride: the per-state scalar-fallback band.
+        const Matrix rz = qop::rz(0.377);
+        op.m[0] = rz(0, 0);
+        op.m[1] = rz(1, 1);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::TwoQ;
+        op.q0 = 2;
+        op.q1 = 8;
+        const Matrix u = linalg::haarUnitary(rng, 4);
+        for (std::size_t i = 0; i < 16; ++i)
+            op.m[i] = u(i / 4, i % 4);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::TwoQDiag;
+        op.q0 = 9;
+        op.q1 = 1;
+        op.m[0] = Complex{1.0, 0.0};
+        op.m[1] = std::polar(1.0, 0.7);
+        op.m[2] = std::polar(1.0, -0.2);
+        op.m[3] = std::polar(1.0, 1.9);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::Dense;
+        op.dense = linalg::haarUnitary(rng, 8);
+        op.qubits = {7, 1, 5};
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+TEST(BatchState, ValidatesArguments)
+{
+    EXPECT_THROW(sim::BatchState(4, 0), std::invalid_argument);
+    EXPECT_THROW(sim::BatchState::pack({}), std::invalid_argument);
+    EXPECT_THROW(sim::BatchState::pack({CVector(3)}),
+                 std::invalid_argument);
+
+    sim::BatchState batch(3, 2);
+    EXPECT_THROW(batch.packLane(2, CVector(8)), std::invalid_argument);
+    EXPECT_THROW(batch.packLane(0, CVector(4)), std::invalid_argument);
+    EXPECT_THROW(batch.unpackLane(2), std::invalid_argument);
+}
+
+TEST(BatchState, InitializesEveryLaneToGroundState)
+{
+    const sim::BatchState batch(3, 5);
+    EXPECT_EQ(batch.numQubits(), 3u);
+    EXPECT_EQ(batch.dim(), 8u);
+    EXPECT_EQ(batch.batch(), 5u);
+    for (std::size_t l = 0; l < 5; ++l) {
+        const CVector amps = batch.unpackLane(l);
+        EXPECT_EQ(amps[0], (Complex{1.0, 0.0}));
+        for (std::size_t i = 1; i < amps.size(); ++i)
+            EXPECT_EQ(amps[i], (Complex{0.0, 0.0}));
+    }
+}
+
+TEST(BatchState, PackUnpackRoundTripIsIdentity)
+{
+    linalg::Rng rng(201);
+    const std::size_t n = 6;
+    std::vector<CVector> states;
+    for (std::size_t t = 0; t < 5; ++t)
+        states.push_back(randomState(rng, n));
+
+    const sim::BatchState batch = sim::BatchState::pack(states);
+    EXPECT_EQ(batch.batch(), 5u);
+    EXPECT_EQ(batch.numQubits(), n);
+    const std::vector<CVector> out = batch.unpack();
+    ASSERT_EQ(out.size(), states.size());
+    for (std::size_t t = 0; t < states.size(); ++t) {
+        EXPECT_TRUE(bitIdentical(out[t], states[t])) << "lane " << t;
+        // amp() reads the same values the unpack produced.
+        for (std::size_t i = 0; i < states[t].size(); ++i)
+            EXPECT_EQ(batch.amp(i, t), states[t][i]);
+    }
+}
+
+TEST(BatchKernels, ScalarBatchMatchesPerLaneScalar)
+{
+    // The scalar batched references must equal running the scalar
+    // serial kernel on every unpacked lane, bit for bit, for any batch
+    // width (including remainder-only widths below the SIMD lane
+    // count).
+    linalg::Rng rng(202);
+    const std::size_t n = 7;
+    const Matrix u2 = linalg::haarUnitary(rng, 2);
+    const Complex m2[4] = {u2(0, 0), u2(0, 1), u2(1, 0), u2(1, 1)};
+    const Matrix u4 = linalg::haarUnitary(rng, 4);
+    const Matrix rz = qop::rz(0.91);
+    const Complex d4[4] = {Complex{1.0, 0.0}, std::polar(1.0, 0.4),
+                           std::polar(1.0, -1.1), std::polar(1.0, 2.2)};
+    const Matrix dense = linalg::haarUnitary(rng, 8);
+    const std::vector<std::size_t> denseQubits{5, 0, 3};
+
+    for (const std::size_t B : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}}) {
+        std::vector<CVector> states;
+        for (std::size_t t = 0; t < B; ++t)
+            states.push_back(randomState(rng, n));
+
+        for (int which = 0; which < 6; ++which) {
+            sim::BatchState batch = sim::BatchState::pack(states);
+            std::vector<CVector> expect = states;
+            for (std::size_t q = 0; q < n; ++q) {
+                switch (which) {
+                  case 0:
+                    sim::scalar::apply1qBatch(batch.re(), batch.im(), n,
+                                              B, q, m2);
+                    for (CVector &e : expect)
+                        sim::scalar::apply1q(e.data(), n, q, m2);
+                    break;
+                  case 1:
+                    sim::scalar::apply1qDiagBatch(batch.re(), batch.im(),
+                                                  n, B, q, rz(0, 0),
+                                                  rz(1, 1));
+                    for (CVector &e : expect)
+                        sim::scalar::apply1qDiag(e.data(), n, q, rz(0, 0),
+                                                 rz(1, 1));
+                    break;
+                  case 2:
+                    sim::scalar::applyPauliBatch(batch.re(), batch.im(),
+                                                 n, B, q, 1 + q % 3);
+                    for (CVector &e : expect)
+                        sim::scalar::applyPauli(e.data(), n, q,
+                                                1 + q % 3);
+                    break;
+                  case 3:
+                    if (q + 1 >= n)
+                        continue;
+                    sim::scalar::apply2qBatch(batch.re(), batch.im(), n,
+                                              B, q, q + 1, u4.data());
+                    for (CVector &e : expect)
+                        sim::scalar::apply2q(e.data(), n, q, q + 1,
+                                             u4.data());
+                    break;
+                  case 4:
+                    if (q + 1 >= n)
+                        continue;
+                    sim::scalar::apply2qDiagBatch(batch.re(), batch.im(),
+                                                  n, B, q + 1, q, d4);
+                    for (CVector &e : expect)
+                        sim::scalar::apply2qDiag(e.data(), n, q + 1, q,
+                                                 d4);
+                    break;
+                  case 5:
+                    if (q != 0)
+                        continue;
+                    sim::scalar::applyDenseBatch(batch.re(), batch.im(),
+                                                 n, B, dense,
+                                                 denseQubits);
+                    for (CVector &e : expect)
+                        sim::applyDense(e.data(), n, dense, denseQubits);
+                    break;
+                }
+            }
+            for (std::size_t t = 0; t < B; ++t)
+                EXPECT_TRUE(bitIdentical(batch.unpackLane(t), expect[t]))
+                    << "which=" << which << " B=" << B << " lane=" << t;
+        }
+    }
+
+    EXPECT_THROW(
+        sim::scalar::applyPauliBatch(nullptr, nullptr, 1, 1, 0, 4),
+        std::invalid_argument);
+}
+
+TEST(BatchKernels, DispatchBatchMatchesPerLaneDispatch)
+{
+    // The dispatching batched kernels (SIMD lane loop + scalar tail)
+    // must equal the dispatching serial kernels per lane, bit for bit.
+    // Pauli matters most: the serial kernel's negation flavour depends
+    // on the sweep stride (AVX2 vectors negate as 0 - x, the scalar
+    // fallback as -x, which differ on signed zeros), and the batched
+    // kernel must replay it per (n, qubit).
+    linalg::Rng rng(203);
+    const std::size_t n = 7;
+    const Matrix u2 = linalg::haarUnitary(rng, 2);
+    const Complex m2[4] = {u2(0, 0), u2(0, 1), u2(1, 0), u2(1, 1)};
+    const Matrix u4 = linalg::haarUnitary(rng, 4);
+    const Matrix rz = qop::rz(0.13);
+    const Complex d4[4] = {std::polar(1.0, 0.3), std::polar(1.0, -0.8),
+                           Complex{1.0, 0.0}, std::polar(1.0, 1.5)};
+    const Matrix dense = linalg::haarUnitary(rng, 8);
+    const std::vector<std::size_t> denseQubits{6, 2, 4};
+
+    for (const std::size_t B : {std::size_t{1}, std::size_t{2},
+                                std::size_t{5}, std::size_t{8}}) {
+        std::vector<CVector> states;
+        for (std::size_t t = 0; t < B; ++t) {
+            // |0...0>-adjacent states carry exact zeros, the inputs on
+            // which the two negation flavours can be told apart.
+            CVector s(std::size_t{1} << n, Complex{0.0, 0.0});
+            s[0] = 1.0;
+            sim::apply1q(s.data(), n, rng.index(n), m2);
+            states.push_back(std::move(s));
+        }
+
+        for (std::size_t q = 0; q < n; ++q) {
+            for (std::size_t pauli = 1; pauli <= 3; ++pauli) {
+                sim::BatchState batch = sim::BatchState::pack(states);
+                std::vector<CVector> expect = states;
+                sim::applyPauliBatch(batch.re(), batch.im(), n, B, q,
+                                     pauli);
+                for (CVector &e : expect)
+                    sim::applyPauli(e.data(), n, q, pauli);
+                for (std::size_t t = 0; t < B; ++t)
+                    EXPECT_TRUE(
+                        bitIdentical(batch.unpackLane(t), expect[t]))
+                        << "pauli=" << pauli << " q=" << q << " B=" << B
+                        << " lane=" << t;
+            }
+        }
+
+        std::vector<CVector> randoms;
+        for (std::size_t t = 0; t < B; ++t)
+            randoms.push_back(randomState(rng, n));
+        sim::BatchState batch = sim::BatchState::pack(randoms);
+        std::vector<CVector> expect = randoms;
+        for (std::size_t q = 0; q < n; ++q) {
+            sim::apply1qBatch(batch.re(), batch.im(), n, B, q, m2);
+            sim::apply1qDiagBatch(batch.re(), batch.im(), n, B, q,
+                                  rz(0, 0), rz(1, 1));
+            for (CVector &e : expect) {
+                sim::apply1q(e.data(), n, q, m2);
+                sim::apply1qDiag(e.data(), n, q, rz(0, 0), rz(1, 1));
+            }
+            if (q + 1 < n) {
+                sim::apply2qBatch(batch.re(), batch.im(), n, B, q, q + 1,
+                                  u4.data());
+                sim::apply2qDiagBatch(batch.re(), batch.im(), n, B,
+                                      q + 1, q, d4);
+                for (CVector &e : expect) {
+                    sim::apply2q(e.data(), n, q, q + 1, u4.data());
+                    sim::apply2qDiag(e.data(), n, q + 1, q, d4);
+                }
+            }
+        }
+        sim::applyDenseBatch(batch.re(), batch.im(), n, B, dense,
+                             denseQubits);
+        for (CVector &e : expect)
+            sim::applyDense(e.data(), n, dense, denseQubits);
+        for (std::size_t t = 0; t < B; ++t)
+            EXPECT_TRUE(bitIdentical(batch.unpackLane(t), expect[t]))
+                << "B=" << B << " lane=" << t;
+    }
+}
+
+TEST(BatchKernels, PauliLaneMatchesSerialAndLeavesOtherLanesAlone)
+{
+    // applyPauliLane is the per-lane divergence primitive: it must
+    // match sim::applyPauli on that lane (including its stride-
+    // dependent negation flavour on exact zeros) and touch no other
+    // lane.
+    const std::size_t n = 6;
+    const std::size_t B = 5;
+    for (std::size_t q = 0; q < n; ++q) {
+        for (std::size_t pauli = 1; pauli <= 3; ++pauli) {
+            std::vector<CVector> states;
+            for (std::size_t t = 0; t < B; ++t) {
+                CVector s(std::size_t{1} << n, Complex{0.0, 0.0});
+                s[(t * 7) % s.size()] = 1.0;
+                states.push_back(std::move(s));
+            }
+            sim::BatchState batch = sim::BatchState::pack(states);
+            const std::size_t lane = (q + pauli) % B;
+            sim::applyPauliLane(batch.re(), batch.im(), n, B, lane, q,
+                                pauli);
+            std::vector<CVector> expect = states;
+            sim::applyPauli(expect[lane].data(), n, q, pauli);
+            for (std::size_t t = 0; t < B; ++t)
+                EXPECT_TRUE(bitIdentical(batch.unpackLane(t), expect[t]))
+                    << "pauli=" << pauli << " q=" << q << " lane=" << t;
+        }
+    }
+    sim::BatchState batch(2, 1);
+    EXPECT_THROW(
+        sim::applyPauliLane(batch.re(), batch.im(), 2, 1, 0, 0, 4),
+        std::invalid_argument);
+}
+
+TEST(BatchEngine, ExecuteBatchedMatchesSerialPerLane)
+{
+    // Whole-plan batched execution must be bit-identical, per lane, to
+    // B independent serial executions — for every kernel kind and for
+    // batch widths below, at, and above the SIMD lane count (the 5
+    // exercises the remainder tail).
+    linalg::Rng rng(204);
+    const std::size_t n = 10;
+    const std::vector<sim::KernelOp> kinds = opsOfEveryKind(rng);
+    const sim::Plan plan(n, kinds, sim::PlanStats{});
+
+    for (const std::size_t B : {std::size_t{1}, std::size_t{2},
+                                std::size_t{5}, std::size_t{8}}) {
+        std::vector<CVector> states;
+        for (std::size_t t = 0; t < B; ++t)
+            states.push_back(randomState(rng, n));
+
+        sim::BatchState batch = sim::BatchState::pack(states);
+        sim::executeBatched(plan, batch);
+        for (std::size_t t = 0; t < B; ++t) {
+            CVector serial = states[t];
+            for (const sim::KernelOp &op : kinds)
+                sim::executeOp(op, serial.data(), n);
+            EXPECT_TRUE(bitIdentical(batch.unpackLane(t), serial))
+                << "B=" << B << " lane=" << t;
+        }
+    }
+
+    sim::BatchState wrong(n + 1, 2);
+    EXPECT_THROW(sim::executeBatched(plan, wrong), std::invalid_argument);
+}
+
+TEST(BatchEngine, ChunkedBatchedSweepsAreBitIdentical)
+{
+    // State-parallel chunking of a batched sweep must be bit-identical
+    // to the serial batched sweep for every kernel kind, every chunk
+    // size, and a remainder batch width. n = 14 clears the batched
+    // parallel cutoff for all kinds.
+    linalg::Rng rng(109); // the test_simd seed: same ops at n = 14.
+    const std::size_t n = 14;
+    const std::size_t B = 5;
+    sim::ThreadPool pool(3);
+
+    std::vector<sim::KernelOp> ops;
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::OneQ;
+        op.q0 = 5;
+        const Matrix u = linalg::haarUnitary(rng, 2);
+        for (std::size_t i = 0; i < 4; ++i)
+            op.m[i] = u(i / 2, i % 2);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::OneQDiag;
+        op.q0 = 12;
+        const Matrix rz = qop::rz(0.377);
+        op.m[0] = rz(0, 0);
+        op.m[1] = rz(1, 1);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::TwoQ;
+        op.q0 = 3;
+        op.q1 = 11;
+        const Matrix u = linalg::haarUnitary(rng, 4);
+        for (std::size_t i = 0; i < 16; ++i)
+            op.m[i] = u(i / 4, i % 4);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::TwoQDiag;
+        op.q0 = 13;
+        op.q1 = 2;
+        op.m[0] = Complex{1.0, 0.0};
+        op.m[1] = std::polar(1.0, 0.7);
+        op.m[2] = std::polar(1.0, -0.2);
+        op.m[3] = std::polar(1.0, 1.9);
+        ops.push_back(op);
+    }
+    {
+        sim::KernelOp op;
+        op.kind = sim::KernelKind::Dense;
+        op.dense = linalg::haarUnitary(rng, 8);
+        op.qubits = {9, 1, 6};
+        ops.push_back(op);
+    }
+
+    std::vector<CVector> states;
+    for (std::size_t t = 0; t < B; ++t)
+        states.push_back(randomState(rng, n));
+
+    for (const sim::KernelOp &op : ops) {
+        sim::BatchState serial = sim::BatchState::pack(states);
+        sim::executeOpBatched(op, serial);
+        for (const std::size_t chunk : {std::size_t{0}, std::size_t{100},
+                                        std::size_t{1024}}) {
+            sim::BatchState parallel = sim::BatchState::pack(states);
+            sim::ExecOptions exec;
+            exec.pool = &pool;
+            exec.chunk = chunk;
+            sim::executeOpBatched(op, parallel, exec);
+            for (std::size_t t = 0; t < B; ++t)
+                EXPECT_TRUE(bitIdentical(parallel.unpackLane(t),
+                                         serial.unpackLane(t)))
+                    << "kind=" << static_cast<int>(op.kind)
+                    << " chunk=" << chunk << " lane=" << t;
+        }
+    }
+}
+
+TEST(BatchNoise, LaneDepolarizingMatchesSerialTrajectory)
+{
+    // A batched trajectory — shared SoA gate sweeps, per-lane noise
+    // draws — must reproduce each serial trajectory bit for bit,
+    // starting from |0...0> (exact zeros everywhere, the inputs where
+    // negation flavours could diverge).
+    linalg::Rng oprng(205);
+    const std::size_t n = 5;
+    const std::size_t B = 4;
+    const Matrix u4 = linalg::haarSU(oprng, 4);
+    sim::KernelOp quad;
+    quad.kind = sim::KernelKind::TwoQ;
+    quad.q0 = 1;
+    quad.q1 = 3;
+    for (std::size_t i = 0; i < 16; ++i)
+        quad.m[i] = u4(i / 4, i % 4);
+    const double p2 = 0.35, p1 = 0.2; // high rates: every Pauli fires.
+
+    // Serial reference: one statevector per trajectory.
+    std::vector<CVector> expect;
+    for (std::size_t t = 0; t < B; ++t) {
+        linalg::Rng rng(sim::streamSeed(99, t));
+        CVector amps(std::size_t{1} << n, Complex{0.0, 0.0});
+        amps[0] = 1.0;
+        for (int step = 0; step < 6; ++step) {
+            sim::executeOp(quad, amps.data(), n);
+            circuit::applyDepolarizing(amps.data(), n, quad.q0, quad.q1,
+                                       p2, rng);
+            circuit::applyDepolarizing(amps.data(), n, quad.q0, p1, rng);
+            circuit::applyDepolarizing(amps.data(), n, quad.q1, p1, rng);
+        }
+        expect.push_back(std::move(amps));
+    }
+
+    // Batched: one SoA sweep per step, lane-divergent noise.
+    std::vector<linalg::Rng> rngs;
+    for (std::size_t t = 0; t < B; ++t)
+        rngs.emplace_back(sim::streamSeed(99, t));
+    sim::BatchState batch(n, B);
+    for (int step = 0; step < 6; ++step) {
+        sim::executeOpBatched(quad, batch);
+        for (std::size_t l = 0; l < B; ++l) {
+            circuit::applyDepolarizing(batch, l, quad.q0, quad.q1, p2,
+                                       rngs[l]);
+            circuit::applyDepolarizing(batch, l, quad.q0, p1, rngs[l]);
+            circuit::applyDepolarizing(batch, l, quad.q1, p1, rngs[l]);
+        }
+    }
+    for (std::size_t t = 0; t < B; ++t)
+        EXPECT_TRUE(bitIdentical(batch.unpackLane(t), expect[t]))
+            << "lane " << t;
+
+    // Lane and parameter validation on the batched overloads.
+    linalg::Rng rng(1);
+    EXPECT_THROW(circuit::applyDepolarizing(batch, B, 0, p1, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::applyDepolarizing(batch, 0, 2, 2, p2, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::applyDepolarizing(batch, 0, 0, -0.1, rng),
+                 std::invalid_argument);
+}
+
+TEST(BatchRunner, RunBatchedIsScheduleInvariantWithRemainder)
+{
+    // runBatched must reproduce run() exactly — same RNG streams, same
+    // result slots — for any (trajWorkers, stateThreads) split and a
+    // count that is not a multiple of the lane width (11 = 2 full tiles
+    // of 4 plus a remainder of 3).
+    linalg::Rng crng(206);
+    const std::size_t n = 8;
+    circuit::Circuit c(n);
+    for (std::size_t q = 0; q + 1 < n; q += 2)
+        c.add(linalg::haarSU(crng, 4), {q, q + 1});
+    const sim::Plan plan = sim::compile(c);
+
+    const sim::TrajectoryRunner::Body serialBody =
+        [&](std::size_t, linalg::Rng &rng, const sim::ExecOptions &) {
+            CVector amps = sim::run(plan);
+            return std::norm(amps[rng.index(amps.size())]);
+        };
+    const sim::TrajectoryRunner::BatchBody batchBody =
+        [&](std::size_t, std::size_t lanes, linalg::Rng *rngs,
+            const sim::ExecOptions &, double *out) {
+            sim::BatchState batch(n, lanes);
+            sim::executeBatched(plan, batch);
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const std::size_t pick = rngs[l].index(batch.dim());
+                out[l] = std::norm(batch.amp(pick, l));
+            }
+        };
+
+    sim::TrajectoryRunner serial(1, 1);
+    const std::vector<double> reference = serial.run(11, 88, serialBody);
+    ASSERT_EQ(reference.size(), 11u);
+
+    for (const auto &[traj, state] :
+         {std::pair<std::size_t, std::size_t>{1, 1}, {4, 1}, {2, 2}}) {
+        sim::TrajectoryRunner runner(traj, state);
+        const std::vector<double> got =
+            runner.runBatched(11, 88, 4, batchBody);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], reference[i])
+                << "traj=" << traj << " state=" << state << " i=" << i;
+        EXPECT_EQ(runner.sumBatched(11, 88, 4, batchBody),
+                  serial.sum(11, 88, serialBody));
+    }
+
+    EXPECT_THROW(serial.runBatched(4, 88, 0, batchBody),
+                 std::invalid_argument);
+    EXPECT_TRUE(serial.runBatched(0, 88, 4, batchBody).empty());
+}
+
+TEST(BatchRunner, TrajParallelArmSpawnsNoStatePools)
+{
+    // Satellite contract: the pure trajectory-parallel arm
+    // (stateThreads <= 1) must never construct per-slot sweep pools.
+    // Pinned through the traj.state_pool_spawns counter.
+    if (!obs::compiledIn())
+        GTEST_SKIP() << "obs not compiled in";
+    obs::TraceSession session;
+    session.start();
+    {
+        sim::TrajectoryRunner trajOnly(4, 1);
+        EXPECT_EQ(obs::counter("traj.state_pool_spawns").value(), 0);
+    }
+    {
+        sim::TrajectoryRunner hybrid(2, 2);
+        EXPECT_EQ(obs::counter("traj.state_pool_spawns").value(), 2);
+    }
+    session.stop();
+}
+
+TEST(BatchQv, SoaLanesDoesNotChangeHeavyOutput)
+{
+    // The QV harness must produce bit-identical heavy-output
+    // proportions with SoA batching off, at the SIMD lane count, and at
+    // a remainder-producing width. (10 trajectories over 4 lanes leaves
+    // a 2-lane tail; 5 lanes leaves none but crosses the vector width.)
+    qv::QvConfig cfg;
+    cfg.width = 4;
+    cfg.circuits = 4;
+    cfg.trajectories = 10;
+    cfg.seed = 31;
+    cfg.threads = 1;
+    cfg.soaLanes = 1;
+    const qv::QvResult off = qv::heavyOutputExperiment(cfg);
+
+    for (const int lanes : {4, 5}) {
+        cfg.soaLanes = lanes;
+        const qv::QvResult on = qv::heavyOutputExperiment(cfg);
+        EXPECT_EQ(on.heavyOutputProportion, off.heavyOutputProportion)
+            << "soaLanes=" << lanes;
+    }
+
+    // Auto mode (0) picks the heuristic; still bit-identical.
+    cfg.soaLanes = 0;
+    const qv::QvResult automatic = qv::heavyOutputExperiment(cfg);
+    EXPECT_EQ(automatic.heavyOutputProportion, off.heavyOutputProportion);
+
+    cfg.soaLanes = -1;
+    EXPECT_THROW(qv::heavyOutputExperiment(cfg), std::invalid_argument);
+}
+
+} // namespace

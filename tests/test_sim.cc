@@ -392,21 +392,46 @@ TEST(Batch, ParallelForPropagatesTaskExceptionAndStaysServiceable)
 
 TEST(Batch, PlanBatchWidthHeuristic)
 {
-    // Narrow registers: all threads to the trajectory axis.
+    // Narrow registers: all threads to the trajectory axis, with SoA
+    // lanes across trajectories (the third axis).
     sim::BatchPlan p = sim::planBatch(8, 10, 100);
     EXPECT_EQ(p.trajWorkers, 8u);
     EXPECT_EQ(p.stateThreads, 1u);
+    EXPECT_EQ(p.soaLanes, sim::simdLanes());
 
-    // Very wide registers: all threads to the sweep axis.
+    // Very wide registers: all threads to the sweep axis, no SoA
+    // batching (one statevector is already memory-bound).
     p = sim::planBatch(8, 27, 100);
     EXPECT_EQ(p.trajWorkers, 1u);
     EXPECT_EQ(p.stateThreads, 8u);
+    EXPECT_EQ(p.soaLanes, 1u);
+
+    // Band boundaries: 17 is still trajectory-only (with lanes), 18 is
+    // the first hybrid-band width; 25 is the last hybrid width, 26 the
+    // first state-only one.
+    p = sim::planBatch(8, 17, 100);
+    EXPECT_EQ(p.trajWorkers, 8u);
+    EXPECT_EQ(p.stateThreads, 1u);
+    EXPECT_EQ(p.soaLanes, sim::simdLanes());
+    p = sim::planBatch(8, 18, 100);
+    EXPECT_EQ(p.trajWorkers, 8u); // memCap 256; 8 x 1 uses all 8.
+    EXPECT_EQ(p.stateThreads, 1u);
+    EXPECT_EQ(p.soaLanes, 1u);
+    p = sim::planBatch(8, 25, 100);
+    EXPECT_EQ(p.trajWorkers, 2u); // memCap 2.
+    EXPECT_EQ(p.stateThreads, 4u);
+    EXPECT_EQ(p.soaLanes, 1u);
+    p = sim::planBatch(8, 26, 100);
+    EXPECT_EQ(p.trajWorkers, 1u);
+    EXPECT_EQ(p.stateThreads, 8u);
+    EXPECT_EQ(p.soaLanes, 1u);
 
     // Hybrid band: concurrent statevectors capped by the per-width
     // memory budget (2^(26 - width)), spare threads to the sweeps.
     p = sim::planBatch(8, 24, 100);
     EXPECT_EQ(p.trajWorkers, 4u);
     EXPECT_EQ(p.stateThreads, 2u);
+    EXPECT_EQ(p.soaLanes, 1u);
 
     // Scarce trajectories hand their threads to the sweep axis.
     p = sim::planBatch(8, 20, 2);
@@ -419,13 +444,30 @@ TEST(Batch, PlanBatchWidthHeuristic)
     EXPECT_EQ(p.trajWorkers, 2u);
     EXPECT_EQ(p.stateThreads, 4u);
 
-    // One thread or an empty batch degenerates to fully serial.
+    // One thread or an empty batch degenerates to fully serial — but a
+    // single narrow-register thread still batches SoA lanes.
     p = sim::planBatch(1, 24, 100);
     EXPECT_EQ(p.trajWorkers, 1u);
     EXPECT_EQ(p.stateThreads, 1u);
+    EXPECT_EQ(p.soaLanes, 1u);
+    p = sim::planBatch(1, 10, 5);
+    EXPECT_EQ(p.trajWorkers, 1u);
+    EXPECT_EQ(p.stateThreads, 1u);
+    EXPECT_EQ(p.soaLanes, sim::simdLanes());
     p = sim::planBatch(8, 24, 0);
     EXPECT_EQ(p.trajWorkers, 1u);
     EXPECT_EQ(p.stateThreads, 1u);
+    EXPECT_EQ(p.soaLanes, 1u);
+}
+
+TEST(Batch, PlanBatchValidatesArguments)
+{
+    // 0 threads no longer means hardware here — callers resolve that
+    // with sim::resolveThreads first; a zero width has no band.
+    EXPECT_THROW(sim::planBatch(0, 14, 10), std::invalid_argument);
+    EXPECT_THROW(sim::planBatch(8, 0, 10), std::invalid_argument);
+    EXPECT_GE(sim::resolveThreads(0), 1u);
+    EXPECT_EQ(sim::resolveThreads(5), 5u);
 }
 
 TEST(Batch, TrajectoryRunnerIsScheduleInvariant)
