@@ -1,18 +1,19 @@
 /**
  * @file
- * Unified benchmark runner: wraps the library's six benchmark
+ * Unified benchmark runner: wraps the library's seven benchmark
  * families — kernel microbenchmarks (micro), state-parallel sweep
- * scaling (sweep), SoA trajectory batching (batch), transpiler batch
- * throughput (transpile), the Figure-7 quantum-volume harness (fig7),
- * and the tracing-overhead A/B (obs) — behind one dependency-free CLI
- * and emits schema-versioned BENCH_<name>.json reports (see report.hh
- * for the schema). CI runs `bench_runner --smoke` on every Release
- * build and uploads the JSON as an artifact, so the performance
- * trajectory is machine-readable per commit.
+ * scaling (sweep), SoA trajectory batching (batch), cache-blocked plan
+ * execution (blocked), transpiler batch throughput (transpile), the
+ * Figure-7 quantum-volume harness (fig7), and the tracing-overhead A/B
+ * (obs) — behind one dependency-free CLI and emits schema-versioned
+ * BENCH_<name>.json reports (see report.hh for the schema). CI runs
+ * `bench_runner --smoke` on every Release build and uploads the JSON
+ * as an artifact, so the performance trajectory is machine-readable
+ * per commit.
  *
- *   bench_runner [micro|sweep|batch|transpile|fig7|obs|all ...]
+ *   bench_runner [micro|sweep|batch|blocked|transpile|fig7|obs|all ...]
  *                [--scenario FAMILY] [--smoke] [--out-dir DIR]
- *                [--trace PATH]
+ *                [--trace PATH] [--list]
  *
  * The micro family times every SIMD kernel against the sim::scalar
  * reference baseline and records speedup_vs_scalar; the sweep family
@@ -48,6 +49,7 @@
 #include "qv/qv.hh"
 #include "report.hh"
 #include "sim/batch.hh"
+#include "sim/cache.hh"
 #include "sim/engine.hh"
 #include "sim/kernels.hh"
 #include "transpile/transpile.hh"
@@ -65,6 +67,7 @@ struct Options
     bool micro = true;
     bool sweep = true;
     bool batch = true;
+    bool blocked = true;
     bool transpile = true;
     bool fig7 = true;
     bool obs = true;
@@ -418,6 +421,82 @@ runBatch(const Options &opt)
     return rep;
 }
 
+/**
+ * Cache-blocked plan execution (BENCH_blocked_sweep.json): a plan of
+ * two brick layers of Haar SU(4) quads on the highest-index (shortest-
+ * stride) qubits — every op blockable at the auto exponent — executed
+ * unblocked (one full-register DRAM stream per op) vs. blocked
+ * (sim::executeBlocked: all ops applied to one L2-resident 2^b block
+ * before the next). speedup_vs_unblocked at n >= 26 is the contract
+ * consumers track (>= 1.3x expected once the statevector falls out of
+ * the LLC); results are bitwise-pinned by test_blocked. Smoke runs one
+ * in-cache width (n=20) to exercise the path cheaply; the full run
+ * sweeps n = 24, 26, 28 (0.25, 1, 4 GiB statevectors).
+ */
+bench::Report
+runBlocked(const Options &opt)
+{
+    std::printf("== blocked_sweep (cache-blocked plan execution, "
+                "block bytes %zu) ==\n",
+                sim::cacheBlockBytes());
+    bench::Report rep = reportSkeleton("blocked_sweep", opt.smoke);
+
+    const std::vector<std::size_t> widths =
+        opt.smoke ? std::vector<std::size_t>{20}
+                  : std::vector<std::size_t>{24, 26, 28};
+    const int rounds = opt.smoke ? 3 : 2;
+
+    linalg::Rng rng(41);
+    for (const std::size_t n : widths) {
+        // Two alternating brick layers of SU(4) quads on the eight
+        // highest-index qubits: min target qubit n - 8, so every op is
+        // blockable at any exponent >= 8, and each sweep streams the
+        // whole register (the blocking win is pure memory locality).
+        circuit::Circuit c(n);
+        for (std::size_t layer = 0; layer < 2; ++layer)
+            for (std::size_t q = n - 8 + layer; q + 1 < n; q += 2)
+                c.add(linalg::haarSU(rng, 4), {q, q + 1});
+        const sim::Plan plan = sim::compile(c);
+        const std::size_t b = sim::autoBlockQubits(n);
+        const std::size_t blocks = plan.dim() >> b;
+        const double ops = static_cast<double>(plan.ops().size());
+
+        CVector amps(plan.dim(), Complex{0.0, 0.0});
+        amps[0] = 1.0;
+        volatile double sink = 0.0;
+
+        const double tUnblocked = bestSeconds(rounds, [&] {
+            sim::execute(plan, amps.data());
+            sink = sink + amps[0].real();
+        });
+        const double tBlocked = bestSeconds(rounds, [&] {
+            sim::executeBlocked(plan, amps.data(), b, {});
+            sink = sink + amps[0].real();
+        });
+
+        const double nsUnblocked = 1e9 * tUnblocked / ops;
+        const double nsBlocked = 1e9 * tBlocked / ops;
+        const double speedup =
+            nsBlocked > 0.0 ? nsUnblocked / nsBlocked : 0.0;
+        bench::Scenario sc;
+        sc.name = "brick8/n=" + std::to_string(n) +
+                  "/b=" + std::to_string(b);
+        sc.params = {{"qubits", static_cast<double>(n)},
+                     {"block_qubits", static_cast<double>(b)},
+                     {"blocks", static_cast<double>(blocks)},
+                     {"ops", ops}};
+        sc.metrics = {{"ns_per_sweep", nsBlocked, "ns"},
+                      {"unblocked_ns_per_sweep", nsUnblocked, "ns"},
+                      {"speedup_vs_unblocked", speedup, "x"}};
+        std::printf("  %-20s unblocked %12.1f ns/sweep   blocked "
+                    "%12.1f ns/sweep   speedup %.2fx\n",
+                    sc.name.c_str(), nsUnblocked, nsBlocked, speedup);
+        rep.scenarios.push_back(std::move(sc));
+    }
+
+    return rep;
+}
+
 bench::Report
 runTranspile(const Options &opt)
 {
@@ -695,18 +774,56 @@ runObsOverhead(const Options &opt)
     return rep;
 }
 
+/** One row of the --list table; kept in sync with selectFamily. */
+struct FamilyInfo
+{
+    const char *name;
+    const char *report;
+    const char *what;
+};
+
+constexpr FamilyInfo kFamilies[] = {
+    {"micro", "BENCH_micro.json",
+     "SIMD kernels vs. the scalar baseline, plus 2q plan fusion"},
+    {"sweep", "BENCH_sweep_scaling.json",
+     "state-parallel chunked kernel sweeps vs. one thread"},
+    {"batch", "BENCH_batch_soa.json",
+     "SoA trajectory batching vs. per-trajectory execution"},
+    {"blocked", "BENCH_blocked_sweep.json",
+     "cache-blocked plan execution vs. unblocked per-op sweeps"},
+    {"transpile", "BENCH_transpile.json",
+     "transpiler batch throughput across thread counts"},
+    {"fig7", "BENCH_fig7.json",
+     "quantum-volume heavy-output harness (paper Figure 7)"},
+    {"obs", "BENCH_obs_overhead.json",
+     "tracing-overhead A/B of the instrumented kernel paths"},
+};
+
+int
+listFamilies()
+{
+    std::printf("bench_runner families (run with no arguments for all):\n");
+    for (const FamilyInfo &f : kFamilies)
+        std::printf("  %-10s %-26s %s\n", f.name, f.report, f.what);
+    std::printf("  %-10s %-26s %s\n", "all", "(every report above)",
+                "explicit alias for the full suite");
+    return 0;
+}
+
 int
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [micro|sweep|batch|transpile|fig7|obs|all ...] [--smoke]\n"
-        "          [--scenario FAMILY] [--out-dir DIR] [--trace PATH]\n"
+        "usage: %s [micro|sweep|batch|blocked|transpile|fig7|obs|all ...]\n"
+        "          [--smoke] [--scenario FAMILY] [--out-dir DIR]\n"
+        "          [--trace PATH] [--list]\n"
         "\n"
         "Runs the unified benchmark suite and writes BENCH_<name>.json\n"
         "per family into --out-dir (default: current directory).\n"
         "Families may be given positionally or via --scenario; with\n"
-        "none, every family runs. --smoke shrinks problem sizes for CI;\n"
+        "none, every family runs. --list prints the family table and\n"
+        "exits. --smoke shrinks problem sizes for CI;\n"
         "the n=20 apply1q scalar-vs-SIMD point is always included.\n"
         "--trace PATH additionally records every selected family and\n"
         "writes one combined Chrome trace-event JSON to PATH (open in\n"
@@ -725,8 +842,8 @@ main(int argc, char **argv)
     bool scenarioChosen = false;
     const auto selectFamily = [&](const std::string &s) {
         if (!scenarioChosen) {
-            opt.micro = opt.sweep = opt.batch = opt.transpile = opt.fig7 =
-                opt.obs = false;
+            opt.micro = opt.sweep = opt.batch = opt.blocked =
+                opt.transpile = opt.fig7 = opt.obs = false;
             scenarioChosen = true;
         }
         if (s == "micro")
@@ -735,6 +852,8 @@ main(int argc, char **argv)
             opt.sweep = true;
         else if (s == "batch")
             opt.batch = true;
+        else if (s == "blocked")
+            opt.blocked = true;
         else if (s == "transpile")
             opt.transpile = true;
         else if (s == "fig7")
@@ -742,26 +861,35 @@ main(int argc, char **argv)
         else if (s == "obs")
             opt.obs = true;
         else if (s == "all")
-            opt.micro = opt.sweep = opt.batch = opt.transpile = opt.fig7 =
-                opt.obs = true;
+            opt.micro = opt.sweep = opt.batch = opt.blocked =
+                opt.transpile = opt.fig7 = opt.obs = true;
         else
             return false;
         return true;
+    };
+    const auto unknownFamily = [&](const std::string &s) {
+        std::fprintf(stderr,
+                     "bench_runner: unknown benchmark family '%s' "
+                     "(--list shows the available families)\n",
+                     s.c_str());
+        return usage(argv[0]);
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
             opt.smoke = true;
+        } else if (arg == "--list") {
+            return listFamilies();
         } else if (arg == "--out-dir" && i + 1 < argc) {
             opt.outDir = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.trace = argv[++i];
         } else if (arg == "--scenario" && i + 1 < argc) {
             if (!selectFamily(argv[++i]))
-                return usage(argv[0]);
+                return unknownFamily(argv[i]);
         } else if (!arg.empty() && arg[0] != '-') {
             if (!selectFamily(arg))
-                return usage(argv[0]);
+                return unknownFamily(arg);
         } else {
             return usage(argv[0]);
         }
@@ -808,6 +936,8 @@ main(int argc, char **argv)
         runFamily(runSweep);
     if (opt.batch)
         runFamily(runBatch);
+    if (opt.blocked)
+        runFamily(runBlocked);
     if (opt.transpile)
         runFamily(runTranspile);
     if (opt.fig7)

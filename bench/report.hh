@@ -42,9 +42,12 @@
  * Only a tiny, dependency-free subset of JSON is produced: objects,
  * arrays, strings (ASCII, escaped), booleans, unsigned integers, and
  * finite doubles printed with 17 significant digits (NaN/inf serialize
- * as null). Scenario and metric names are free-form; the
- * "speedup_vs_scalar" metric name is the one contract consumers rely
- * on for SIMD regression tracking.
+ * as null). Scenario and metric names are free-form; the metric names
+ * contract consumers rely on for regression tracking are
+ * "speedup_vs_scalar" (micro family, SIMD kernels) and
+ * "speedup_vs_unblocked" (blocked family, BENCH_blocked_sweep.json:
+ * cache-blocked plan execution at n >= 26, expected >= 1.3x once the
+ * statevector exceeds the LLC).
  */
 
 #ifndef CRISC_BENCH_REPORT_HH

@@ -71,6 +71,17 @@ struct QvConfig
      */
     int soaLanes = 0;
     /**
+     * Cache-blocked plan execution for the per-circuit ideal
+     * simulation (sim::ExecOptions::blockQubits): 0 = auto (the width
+     * heuristic turns blocking on from sim::kAutoBlockFromWidth
+     * qubits), n >= 1 = force block exponent n (clamped to the
+     * simulated width). The noisy trajectory bodies interleave noise
+     * between individual ops, so blocking only applies to whole-plan
+     * execution. Results are bit-for-bit identical for any value;
+     * negative values are rejected with std::invalid_argument.
+     */
+    int blockQubits = 0;
+    /**
      * Run against this device instead of the canned grid preset built
      * from (width, native, ashnCutoff, czError, singleQubitError).
      * Must have at least `width` qubits.

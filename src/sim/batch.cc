@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hh"
+#include "sim/cache.hh"
 #include "sim/kernels.hh"
 
 namespace crisc {
@@ -227,14 +228,17 @@ planBatch(std::size_t total_threads, std::size_t width, std::size_t count)
     const std::size_t total = total_threads;
     const std::size_t soa =
         width < kTrajOnlyBelowWidth ? simdLanes() : 1;
+    // Statevectors past the LLC execute cache-blocked (engine.hh); the
+    // same auto policy ExecOptions::blockQubits == 0 resolves to.
+    const std::size_t block = resolveBlockQubits(0, width);
     if (count == 0)
-        return {1, 1, 1};
+        return {1, 1, 1, block};
     if (total == 1)
-        return {1, 1, soa};
+        return {1, 1, soa, block};
     if (width < kTrajOnlyBelowWidth)
-        return {total, 1, soa};
+        return {total, 1, soa, block};
     if (width >= kStateOnlyFromWidth)
-        return {1, total, 1};
+        return {1, total, 1, block};
     const std::size_t memCap = std::size_t{1}
                                << (kStateOnlyFromWidth - width);
     std::size_t limit = total;
@@ -257,7 +261,7 @@ planBatch(std::size_t total_threads, std::size_t width, std::size_t count)
             traj = t;
         }
     }
-    return {traj, total / traj};
+    return {traj, total / traj, 1, block};
 }
 
 TrajectoryRunner::TrajectoryRunner(std::size_t traj_workers,

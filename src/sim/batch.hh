@@ -130,6 +130,16 @@ struct ExecOptions
      * which creates a transient pool from `threads` when unset.
      */
     ThreadPool *pool = nullptr;
+    /**
+     * Cache-blocked plan execution (engine.hh executeBlocked): 0 =
+     * auto (blocking turns on at sim::autoBlockQubits for registers of
+     * at least sim::kAutoBlockFromWidth qubits, stays off below);
+     * 1..n = force that block exponent (values above the register
+     * width clamp to it — b == n is the degenerate single-block form).
+     * Only Plan-level execution consults this; results are
+     * bit-identical for every value.
+     */
+    std::size_t blockQubits = 0;
 };
 
 /**
@@ -143,6 +153,13 @@ struct BatchPlan
     std::size_t trajWorkers = 1;
     std::size_t stateThreads = 1;
     std::size_t soaLanes = 1;
+    /**
+     * Cache-blocked execution choice for Plan-level sweeps (engine.hh):
+     * 0 = off (the register fits cache levels where per-op sweeps are
+     * cheap), else the block exponent to pass as
+     * ExecOptions::blockQubits. On when width >= kAutoBlockFromWidth.
+     */
+    std::size_t blockQubits = 0;
 };
 
 /**
@@ -157,7 +174,11 @@ struct BatchPlan
  * hybrid: concurrent statevectors are capped by a per-width memory
  * budget of 2^(26 - width), and the split maximizes used threads, so
  * spare budget moves to the sweep axis when trajectories are scarce.
- * The choice never affects results, only scheduling.
+ * Registers of at least kAutoBlockFromWidth (~24) qubits additionally
+ * get cache-blocked plan execution (BatchPlan::blockQubits set to the
+ * autoBlockQubits exponent, 0 below — see sim/cache.hh), since their
+ * statevectors fall out of the LLC and per-op sweeps go
+ * bandwidth-bound. The choice never affects results, only scheduling.
  * @throws std::invalid_argument when width == 0 or total_threads == 0
  *         (resolve a hardware default with resolveThreads() first).
  */

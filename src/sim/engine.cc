@@ -1,12 +1,100 @@
 #include "engine.hh"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 
 #include "obs/obs.hh"
+#include "sim/cache.hh"
 
 namespace crisc {
 namespace sim {
+
+namespace {
+
+/** log2 of an op's amplitude-group size (1 for pairs, 2 for quads,
+ *  k for the dense fallback). */
+std::size_t
+opGroupBits(const KernelOp &op)
+{
+    switch (op.kind) {
+      case KernelKind::OneQ:
+      case KernelKind::OneQDiag:
+        return 1;
+      case KernelKind::TwoQ:
+      case KernelKind::TwoQDiag:
+        return 2;
+      case KernelKind::Dense:
+        return op.qubits.size();
+    }
+    throw std::logic_error("opGroupBits: unknown kernel kind");
+}
+
+/**
+ * Smallest block exponent at which @p op is blockable: one past its
+ * highest target index bit. Qubit q addresses index bit n-1-q, so
+ * this is n minus the smallest target qubit index.
+ */
+std::size_t
+opMinBlockBits(const KernelOp &op, std::size_t n_qubits)
+{
+    switch (op.kind) {
+      case KernelKind::OneQ:
+      case KernelKind::OneQDiag:
+        return n_qubits - op.q0;
+      case KernelKind::TwoQ:
+      case KernelKind::TwoQDiag:
+        return n_qubits - (op.q0 < op.q1 ? op.q0 : op.q1);
+      case KernelKind::Dense:
+        return op.qubits.empty()
+                   ? 0
+                   : n_qubits - *std::min_element(op.qubits.begin(),
+                                                  op.qubits.end());
+    }
+    throw std::logic_error("opMinBlockBits: unknown kernel kind");
+}
+
+} // namespace
+
+Plan::Plan(std::size_t num_qubits, std::vector<KernelOp> ops,
+           PlanStats stats)
+    : nQubits_(num_qubits), ops_(std::move(ops)), stats_(stats)
+{
+    minBlockBits_.reserve(ops_.size());
+    for (const KernelOp &op : ops_)
+        minBlockBits_.push_back(opMinBlockBits(op, nQubits_));
+    // Informational segment stats at the auto block exponent;
+    // execution re-partitions for whatever exponent it resolves.
+    const std::size_t bAuto = autoBlockQubits(nQubits_);
+    bool inRun = false;
+    for (const std::size_t bits : minBlockBits_) {
+        const bool blockable = bAuto != 0 && bits <= bAuto;
+        if (blockable) {
+            ++stats_.blockableOps;
+            if (!inRun)
+                ++stats_.blockedSegments;
+        }
+        inRun = blockable;
+    }
+}
+
+std::vector<BlockSegment>
+blockSegments(const Plan &plan, std::size_t block_qubits)
+{
+    if (block_qubits == 0 || block_qubits > plan.numQubits())
+        throw std::invalid_argument(
+            "blockSegments: block_qubits must lie in [1, plan width]");
+    const std::vector<std::size_t> &bits = plan.minBlockBits();
+    std::vector<BlockSegment> segments;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const bool blockable = bits[i] <= block_qubits;
+        if (segments.empty() || segments.back().blockable != blockable)
+            segments.push_back({i, 1, blockable});
+        else
+            ++segments.back().count;
+    }
+    return segments;
+}
 
 namespace {
 
@@ -424,8 +512,194 @@ executeOpBatched(const KernelOp &op, BatchState &batch,
 }
 
 void
+executeBlockedRange(const Plan &plan, std::size_t op_begin,
+                    std::size_t op_end, Complex *amps,
+                    std::size_t block_qubits, std::size_t block_begin,
+                    std::size_t block_end)
+{
+    const std::size_t n = plan.numQubits();
+    if (block_qubits == 0 || block_qubits > n)
+        throw std::invalid_argument(
+            "executeBlockedRange: block_qubits must lie in [1, plan width]");
+    if (op_begin > op_end || op_end > plan.ops().size())
+        throw std::invalid_argument(
+            "executeBlockedRange: op interval out of range");
+    const std::size_t blocks = plan.dim() >> block_qubits;
+    if (block_begin > block_end || block_end > blocks)
+        throw std::invalid_argument(
+            "executeBlockedRange: block interval out of range");
+    for (std::size_t i = op_begin; i < op_end; ++i)
+        if (plan.minBlockBits()[i] > block_qubits)
+            throw std::invalid_argument(
+                "executeBlockedRange: op not blockable at this exponent");
+    const std::size_t blockDim = std::size_t{1} << block_qubits;
+    for (std::size_t b = block_begin; b < block_end; ++b) {
+        OBS_SPAN("sim.block");
+        // A blockable op's groups tile the index space in block order:
+        // block b owns groups [b * perBlock, (b + 1) * perBlock), so
+        // the per-op Range kernels replay the serial sweep exactly.
+        for (std::size_t i = op_begin; i < op_end; ++i) {
+            const KernelOp &op = plan.ops()[i];
+            const std::size_t perBlock = blockDim >> opGroupBits(op);
+            executeOpRange(op, amps, n, b * perBlock, (b + 1) * perBlock);
+        }
+    }
+}
+
+namespace {
+
+/** executeBlockedRange's loop nest on a SoA batch (inputs validated by
+ *  the executeBlockedBatched caller). */
+void
+blockedBatchedRange(const Plan &plan, std::size_t op_begin,
+                    std::size_t op_end, BatchState &batch,
+                    std::size_t block_qubits, std::size_t block_begin,
+                    std::size_t block_end)
+{
+    const std::size_t blockDim = std::size_t{1} << block_qubits;
+    for (std::size_t b = block_begin; b < block_end; ++b) {
+        OBS_SPAN("sim.block");
+        for (std::size_t i = op_begin; i < op_end; ++i) {
+            const KernelOp &op = plan.ops()[i];
+            const std::size_t perBlock = blockDim >> opGroupBits(op);
+            executeOpBatchedRange(op, batch, b * perBlock,
+                                  (b + 1) * perBlock);
+        }
+    }
+}
+
+/** One blockable segment, block-outer, blocks spread over the pool.
+ *  Blockable ops never couple amplitudes across block boundaries, so
+ *  the tasks write disjoint amplitude ranges. */
+void
+runBlockedSegment(const Plan &plan, const BlockSegment &seg, Complex *amps,
+                  std::size_t block_qubits, const ExecOptions &opts)
+{
+    OBS_SPAN("sim.segment");
+    const std::size_t blocks = plan.dim() >> block_qubits;
+    ThreadPool *pool = opts.pool;
+    if (pool == nullptr || pool->size() <= 1 || blocks < 2 ||
+        (plan.dim() >> 1) < kMinParallelGroups) {
+        executeBlockedRange(plan, seg.first, seg.first + seg.count, amps,
+                            block_qubits, 0, blocks);
+        return;
+    }
+    std::size_t per = blocks / (pool->size() * kTasksPerThread);
+    if (per == 0)
+        per = 1;
+    const std::size_t tasks = (blocks + per - 1) / per;
+    OBS_COUNT("sim.block_tasks", tasks);
+    pool->parallelFor(tasks, [&](std::size_t t) {
+        const std::size_t b0 = t * per;
+        const std::size_t b1 = b0 + per < blocks ? b0 + per : blocks;
+        executeBlockedRange(plan, seg.first, seg.first + seg.count, amps,
+                            block_qubits, b0, b1);
+    });
+}
+
+/** runBlockedSegment on a SoA batch; the serial cutoff scales down
+ *  with the lane count exactly as executeOpBatched's does. */
+void
+runBlockedSegmentBatched(const Plan &plan, const BlockSegment &seg,
+                         BatchState &batch, std::size_t block_qubits,
+                         const ExecOptions &opts)
+{
+    OBS_SPAN("sim.segment");
+    const std::size_t blocks = plan.dim() >> block_qubits;
+    const std::size_t scaled = kMinParallelGroups / batch.batch();
+    const std::size_t minGroups =
+        scaled > kChunkGranule ? scaled : kChunkGranule;
+    ThreadPool *pool = opts.pool;
+    if (pool == nullptr || pool->size() <= 1 || blocks < 2 ||
+        (plan.dim() >> 1) < minGroups) {
+        blockedBatchedRange(plan, seg.first, seg.first + seg.count, batch,
+                            block_qubits, 0, blocks);
+        return;
+    }
+    std::size_t per = blocks / (pool->size() * kTasksPerThread);
+    if (per == 0)
+        per = 1;
+    const std::size_t tasks = (blocks + per - 1) / per;
+    OBS_COUNT("sim.block_tasks", tasks);
+    pool->parallelFor(tasks, [&](std::size_t t) {
+        const std::size_t b0 = t * per;
+        const std::size_t b1 = b0 + per < blocks ? b0 + per : blocks;
+        blockedBatchedRange(plan, seg.first, seg.first + seg.count, batch,
+                            block_qubits, b0, b1);
+    });
+}
+
+} // namespace
+
+void
+executeBlocked(const Plan &plan, Complex *amps, std::size_t block_qubits,
+               const ExecOptions &opts)
+{
+    const std::size_t n = plan.numQubits();
+    if (block_qubits == 0 || block_qubits > n)
+        throw std::invalid_argument(
+            "executeBlocked: block_qubits must lie in [1, plan width]");
+    OBS_SPAN("sim.plan");
+    const std::vector<BlockSegment> segments =
+        blockSegments(plan, block_qubits);
+    std::optional<ThreadPool> transient;
+    ExecOptions resolved = opts;
+    if (resolved.pool == nullptr && opts.threads != 1) {
+        transient.emplace(opts.threads);
+        resolved.pool = &*transient;
+    }
+    for (const BlockSegment &seg : segments) {
+        if (seg.blockable) {
+            runBlockedSegment(plan, seg, amps, block_qubits, resolved);
+            continue;
+        }
+        // Ops coupling amplitudes across blocks run as ordinary
+        // whole-register sweeps — barriers between blockable segments.
+        for (std::size_t i = seg.first; i < seg.first + seg.count; ++i)
+            executeOp(plan.ops()[i], amps, n, resolved);
+    }
+}
+
+void
+executeBlockedBatched(const Plan &plan, BatchState &batch,
+                      std::size_t block_qubits, const ExecOptions &opts)
+{
+    if (batch.numQubits() != plan.numQubits())
+        throw std::invalid_argument(
+            "executeBlockedBatched: batch width does not match plan width");
+    if (block_qubits == 0 || block_qubits > plan.numQubits())
+        throw std::invalid_argument(
+            "executeBlockedBatched: block_qubits must lie in [1, plan "
+            "width]");
+    OBS_SPAN("sim.plan_batched");
+    const std::vector<BlockSegment> segments =
+        blockSegments(plan, block_qubits);
+    std::optional<ThreadPool> transient;
+    ExecOptions resolved = opts;
+    if (resolved.pool == nullptr && opts.threads != 1) {
+        transient.emplace(opts.threads);
+        resolved.pool = &*transient;
+    }
+    for (const BlockSegment &seg : segments) {
+        if (seg.blockable) {
+            runBlockedSegmentBatched(plan, seg, batch, block_qubits,
+                                     resolved);
+            continue;
+        }
+        for (std::size_t i = seg.first; i < seg.first + seg.count; ++i)
+            executeOpBatched(plan.ops()[i], batch, resolved);
+    }
+}
+
+void
 executeBatched(const Plan &plan, BatchState &batch, const ExecOptions &opts)
 {
+    const std::size_t block =
+        resolveBlockQubits(opts.blockQubits, plan.numQubits());
+    if (block != 0) {
+        executeBlockedBatched(plan, batch, block, opts);
+        return;
+    }
     if (batch.numQubits() != plan.numQubits())
         throw std::invalid_argument(
             "executeBatched: batch width does not match plan width");
@@ -456,6 +730,12 @@ execute(const Plan &plan, Complex *amps)
 void
 execute(const Plan &plan, Complex *amps, const ExecOptions &opts)
 {
+    const std::size_t block =
+        resolveBlockQubits(opts.blockQubits, plan.numQubits());
+    if (block != 0) {
+        executeBlocked(plan, amps, block, opts);
+        return;
+    }
     if (opts.pool == nullptr && opts.threads == 1) {
         execute(plan, amps);
         return;

@@ -27,6 +27,24 @@
  * serial per-amplitude operation sequence exactly, so state-parallel
  * execution is bit-identical to the serial and SIMD-serial backends
  * for any thread count and chunk size.
+ *
+ * Plan-level execution additionally supports a cache-blocked mode
+ * (ExecOptions::blockQubits, see sim/cache.hh for the auto policy):
+ * the ops are partitioned into maximal *blockable segments* — runs of
+ * consecutive ops whose target index bits all lie below a block
+ * exponent b (in this library's convention, qubit q addresses index
+ * bit n-1-q, so an op is blockable when every target qubit q
+ * satisfies n-1-q < b) — and each blockable segment inverts the loop
+ * nest: the 2^(n-b) contiguous amplitude blocks of 2^b amplitudes
+ * form the outer loop, and *all* of the segment's ops are applied to
+ * one block (L2-resident) before the next, instead of one full-
+ * register DRAM stream per op. A blockable op never couples
+ * amplitudes across a block boundary and every amplitude still sees
+ * the segment's ops in plan order with the serial per-amplitude IEEE
+ * sequence, so blocked execution is bit-identical to every other
+ * backend; blocks are the parallel granule (blocks across pool
+ * threads), and the mode composes with SoA-batched lanes
+ * (executeBlockedBatched).
  */
 
 #ifndef CRISC_SIM_ENGINE_HH
@@ -76,6 +94,25 @@ struct PlanStats
     std::size_t fusedInto2q = 0; ///< pending 1q products folded into a 4x4.
     std::size_t diagOps = 0;     ///< ops lowered to a diagonal kernel.
     std::size_t denseOps = 0;    ///< ops left on the generic path.
+    /** Blockable segments at the plan's auto block exponent
+     *  (autoBlockQubits(n), cache.hh) — informational; execution
+     *  re-partitions for whatever exponent it resolves. */
+    std::size_t blockedSegments = 0;
+    /** Ops inside those blockable segments. */
+    std::size_t blockableOps = 0;
+};
+
+/**
+ * One maximal run of consecutive plan ops sharing blockability at a
+ * given block exponent (blockSegments). Segments tile the op sequence
+ * in order: non-blockable segments execute as full-register sweeps
+ * and act as barriers between the blocked loop nests on either side.
+ */
+struct BlockSegment
+{
+    std::size_t first = 0;   ///< index of the segment's first op.
+    std::size_t count = 0;   ///< ops in the segment.
+    bool blockable = false;  ///< all ops confined to 2^b-sized blocks.
 };
 
 /** Options for compile(). */
@@ -95,10 +132,8 @@ struct CompileOptions
 class Plan
 {
   public:
-    Plan(std::size_t num_qubits, std::vector<KernelOp> ops, PlanStats stats)
-        : nQubits_(num_qubits), ops_(std::move(ops)), stats_(stats)
-    {
-    }
+    Plan(std::size_t num_qubits, std::vector<KernelOp> ops,
+         PlanStats stats);
 
     std::size_t numQubits() const { return nQubits_; }
     std::size_t dim() const { return std::size_t{1} << nQubits_; }
@@ -106,16 +141,39 @@ class Plan
     const PlanStats &stats() const { return stats_; }
 
     /**
+     * Per-op blocking metadata: entry i is the smallest block exponent
+     * at which op i is blockable — one past its highest target index
+     * bit, i.e. n - min(target qubits). Op i is confined to contiguous
+     * 2^b-amplitude blocks exactly when minBlockBits()[i] <= b.
+     */
+    const std::vector<std::size_t> &minBlockBits() const
+    {
+        return minBlockBits_;
+    }
+
+    /**
      * Executes the plan in place on a 2^n statevector, state-parallel
-     * per @p opts (serial by default; bit-identical either way).
+     * and/or cache-blocked per @p opts (serial unblocked by default at
+     * narrow widths; bit-identical every way).
      */
     void execute(Complex *amps, const ExecOptions &opts = {}) const;
 
   private:
     std::size_t nQubits_;
     std::vector<KernelOp> ops_;
+    std::vector<std::size_t> minBlockBits_;
     PlanStats stats_;
 };
+
+/**
+ * Partitions @p plan's op sequence into maximal segments of uniform
+ * blockability at block exponent @p block_qubits (in [1, n]); the
+ * segments tile [0, ops) in order. An empty plan yields no segments.
+ * @throws std::invalid_argument when block_qubits is 0 or exceeds the
+ *         plan width.
+ */
+std::vector<BlockSegment> blockSegments(const Plan &plan,
+                                        std::size_t block_qubits);
 
 /** Compiles a circuit into a kernel plan. */
 Plan compile(const circuit::Circuit &c, const CompileOptions &opts = {});
@@ -150,9 +208,45 @@ void execute(const Plan &plan, Complex *amps);
 /**
  * Executes a plan in place, running each kernel sweep state-parallel
  * per @p opts. When opts.pool is unset and opts.threads > 1, one
- * transient pool serves the whole plan execution.
+ * transient pool serves the whole plan execution. When
+ * opts.blockQubits resolves to a block exponent (resolveBlockQubits,
+ * cache.hh — auto-on from kAutoBlockFromWidth qubits), dispatches to
+ * executeBlocked; results are bit-identical either way.
  */
 void execute(const Plan &plan, Complex *amps, const ExecOptions &opts);
+
+/**
+ * Cache-blocked plan execution: partitions the ops into blockable
+ * segments at block exponent @p block_qubits (blockSegments) and, for
+ * each blockable segment, iterates the 2^(n-b) contiguous amplitude
+ * blocks in the outer loop, applying all of the segment's ops to one
+ * L2-resident block before the next. Non-blockable segments run as
+ * ordinary full-register sweeps (chunked per @p opts). Blocks are
+ * independent within a segment, so a pool in @p opts partitions the
+ * block axis; when opts.pool is unset and opts.threads > 1 a
+ * transient pool is created. Bit-identical to serial execution for
+ * every block exponent, thread count, and chunk size.
+ * @throws std::invalid_argument when block_qubits is 0 or exceeds the
+ *         plan width (resolveBlockQubits clamps the user-facing knob
+ *         before it reaches here).
+ */
+void executeBlocked(const Plan &plan, Complex *amps,
+                    std::size_t block_qubits,
+                    const ExecOptions &opts = {});
+
+/**
+ * Executes ops [op_begin, op_end) of @p plan — which must all be
+ * blockable at @p block_qubits — over amplitude blocks
+ * [block_begin, block_end) of the 2^(n - block_qubits) total, with
+ * the block-outer loop nest; the blocked parallel substrate, exported
+ * for the equivalence tests.
+ * @throws std::invalid_argument on an op that is not blockable at
+ *         @p block_qubits or an out-of-range op/block interval.
+ */
+void executeBlockedRange(const Plan &plan, std::size_t op_begin,
+                         std::size_t op_end, Complex *amps,
+                         std::size_t block_qubits,
+                         std::size_t block_begin, std::size_t block_end);
 
 // ---------------------------------------------------------------------
 // Batched (SoA) execution: the third parallel axis. One plan is applied
@@ -184,12 +278,28 @@ void executeOpBatchedRange(const KernelOp &op, BatchState &batch,
 
 /**
  * Executes a plan in place on every lane of a batch, state-parallel per
- * @p opts (serial by default; bit-identical either way).
+ * @p opts (serial by default; bit-identical either way). When
+ * opts.blockQubits resolves to a block exponent, dispatches to
+ * executeBlockedBatched.
  * @throws std::invalid_argument when the batch width does not match the
  *         plan width.
  */
 void executeBatched(const Plan &plan, BatchState &batch,
                     const ExecOptions &opts = {});
+
+/**
+ * executeBlocked on every lane of a batch: the same blockable-segment
+ * partition and block-outer loop nest, with each block's lanes
+ * advanced together by the batched range kernels. Every lane is
+ * bit-identical to executing the plan serially on that lane's
+ * statevector, for every block exponent, thread count, and lane
+ * count.
+ * @throws std::invalid_argument on a width mismatch or an invalid
+ *         block exponent (as executeBlocked).
+ */
+void executeBlockedBatched(const Plan &plan, BatchState &batch,
+                           std::size_t block_qubits,
+                           const ExecOptions &opts = {});
 
 /** Executes a plan on |0...0> and returns the resulting statevector. */
 linalg::CVector run(const Plan &plan);

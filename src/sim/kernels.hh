@@ -27,6 +27,11 @@
  * reassembles the full sweep bit for bit, which is what the state-
  * parallel execution path in engine.hh relies on (a group is never
  * split across chunks, so no two chunks touch the same amplitude).
+ * Cache-blocked plan execution (engine.hh executeBlocked) reuses the
+ * same contract: when an op's targets all address index bits below a
+ * block exponent b, the groups of one 2^b-amplitude block form the
+ * contiguous range [block * 2^(b-k), (block + 1) * 2^(b-k)), so the
+ * *Range kernels serve as the per-block substrate unchanged.
  *
  * Conventions match the rest of the library: qubit 0 is the most
  * significant bit of a basis index, and a k-qubit operator's basis is
