@@ -1,17 +1,19 @@
 /**
  * @file
- * Unified benchmark runner: wraps the library's seven benchmark
+ * Unified benchmark runner: wraps the library's eight benchmark
  * families — kernel microbenchmarks (micro), state-parallel sweep
  * scaling (sweep), SoA trajectory batching (batch), cache-blocked plan
  * execution (blocked), transpiler batch throughput (transpile), the
- * Figure-7 quantum-volume harness (fig7), and the tracing-overhead A/B
- * (obs) — behind one dependency-free CLI and emits schema-versioned
- * BENCH_<name>.json reports (see report.hh for the schema). CI runs
+ * Figure-7 quantum-volume harness (fig7), the tracing-overhead A/B
+ * (obs), and the runtime ISA dispatch sweep (dispatch) — behind one
+ * dependency-free CLI and emits schema-versioned BENCH_<name>.json
+ * reports (see report.hh for the schema). CI runs
  * `bench_runner --smoke` on every Release build and uploads the JSON
  * as an artifact, so the performance trajectory is machine-readable
  * per commit.
  *
- *   bench_runner [micro|sweep|batch|blocked|transpile|fig7|obs|all ...]
+ *   bench_runner [micro|sweep|batch|blocked|transpile|fig7|obs|dispatch
+ *                 |all ...]
  *                [--scenario FAMILY] [--smoke] [--out-dir DIR]
  *                [--trace PATH] [--list]
  *
@@ -23,7 +25,11 @@
  * per-trajectory execution and records speedup_vs_trajparallel; the
  * obs family pins the disabled-tracing overhead of the instrumented
  * kernel paths (serial and batched) against the raw kernel call; the
- * SIMD backend and lane width in use are stamped into every report.
+ * dispatch family forces every compiled+host-supported kernel backend
+ * in turn (sim::setDispatchOverride — the same binary carries them
+ * all) and records per-backend ns/op plus the <1% dispatch-indirection
+ * contract; the runtime-resolved SIMD backend, its lane width, and the
+ * full compiled-backend list are stamped into every report.
  *
  * --trace PATH records every selected family under an obs
  * TraceSession, merges the per-span aggregates into each family's
@@ -50,6 +56,7 @@
 #include "report.hh"
 #include "sim/batch.hh"
 #include "sim/cache.hh"
+#include "sim/dispatch.hh"
 #include "sim/engine.hh"
 #include "sim/kernels.hh"
 #include "transpile/transpile.hh"
@@ -71,6 +78,7 @@ struct Options
     bool transpile = true;
     bool fig7 = true;
     bool obs = true;
+    bool dispatch = true;
     bool smoke = false;
     std::string outDir = ".";
     std::string trace; ///< Chrome-trace output path; empty = no tracing.
@@ -100,6 +108,8 @@ reportSkeleton(const std::string &name, bool smoke)
     rep.gitSha = bench::reportGitSha();
     rep.gitDirty = bench::reportGitDirty();
     rep.simdBackend = sim::simdBackendName();
+    for (const sim::Backend b : sim::compiledBackends())
+        rep.simdCompiled.push_back(sim::backendName(b));
     rep.simdLanes = sim::simdLanes();
     rep.threads = std::max(1u, std::thread::hardware_concurrency());
     rep.smoke = smoke;
@@ -774,6 +784,130 @@ runObsOverhead(const Options &opt)
     return rep;
 }
 
+/**
+ * Runtime ISA dispatch sweep (BENCH_dispatch_backends.json): one binary
+ * carries every kernel backend the compiler could build, so this family
+ * forces each compiled+host-supported backend in turn
+ * (sim::setDispatchOverride — the in-process twin of
+ * CRISC_SIMD_DISPATCH) and times the same full-register apply1q /
+ * apply2q sweeps the micro family uses, recording per-backend ns/op and
+ * speedup_vs_scalar. The closing scenario pins the cost of runtime
+ * dispatch itself: an apply2q sweep through the public wrapper (one
+ * activeKernels() fetch + indirect call per sweep) vs. the same sweep
+ * through a hoisted table pointer. dispatch_overhead_pct is the
+ * contract consumers track — < 1%, like the obs family's
+ * zero-cost-when-off bound (the fetch amortizes over 2^n amplitudes).
+ */
+bench::Report
+runDispatch(const Options &opt)
+{
+    std::printf("== dispatch_backends (runtime ISA dispatch, resolved "
+                "%s) ==\n",
+                sim::backendName());
+    bench::Report rep = reportSkeleton("dispatch_backends", opt.smoke);
+
+    // Scalar leads so every later backend has its baseline; the rest
+    // follow in probe order.
+    std::vector<sim::Backend> selectable{sim::Backend::Scalar};
+    for (const sim::Backend b : sim::compiledBackends())
+        if (b != sim::Backend::Scalar && sim::hostSupports(b))
+            selectable.push_back(b);
+
+    const std::vector<std::size_t> widths =
+        opt.smoke ? std::vector<std::size_t>{12, 20}
+                  : std::vector<std::size_t>{12, 16, 20};
+    linalg::Rng rng(53);
+    const Matrix u2 = linalg::haarUnitary(rng, 2);
+    const Complex m2[4] = {u2(0, 0), u2(0, 1), u2(1, 0), u2(1, 1)};
+    const Matrix u4 = linalg::haarUnitary(rng, 4);
+
+    for (const std::size_t n : widths) {
+        CVector amps = randomState(rng, n);
+        struct Sweep
+        {
+            const char *name;
+            std::size_t ops;
+        };
+        for (const Sweep &sw : {Sweep{"apply1q", n}, Sweep{"apply2q",
+                                                           n - 1}}) {
+            const bool oneQ = std::strcmp(sw.name, "apply1q") == 0;
+            double nsScalar = 0.0;
+            for (const sim::Backend b : selectable) {
+                sim::setDispatchOverride(sim::backendName(b));
+                const double t = bestSeconds(3, [&] {
+                    if (oneQ)
+                        for (std::size_t q = 0; q < n; ++q)
+                            sim::apply1q(amps.data(), n, q, m2);
+                    else
+                        for (std::size_t q = 0; q + 1 < n; ++q)
+                            sim::apply2q(amps.data(), n, q, q + 1,
+                                         u4.data());
+                });
+                const double ns = 1e9 * t / static_cast<double>(sw.ops);
+                if (b == sim::Backend::Scalar)
+                    nsScalar = ns;
+                const double speedup = ns > 0.0 ? nsScalar / ns : 0.0;
+                bench::Scenario sc;
+                sc.name = std::string(sw.name) + "/n=" +
+                          std::to_string(n) + "/backend=" +
+                          sim::backendName(b);
+                sc.params = {{"qubits", static_cast<double>(n)},
+                             {"lanes", static_cast<double>(
+                                           sim::kernelTable(b).lanes)}};
+                sc.metrics = {{"ns_per_op", ns, "ns"},
+                              {"speedup_vs_scalar", speedup, "x"}};
+                std::printf("  %-30s %10.1f ns/op   speedup %.2fx\n",
+                            sc.name.c_str(), ns, speedup);
+                rep.scenarios.push_back(std::move(sc));
+            }
+        }
+    }
+    sim::setDispatchOverride("auto");
+
+    // Dispatch-indirection contract: wrapper (table fetch per sweep)
+    // vs. hoisted table pointer, on the probe-resolved backend.
+    {
+        const std::size_t n = opt.smoke ? 16 : 20;
+        const int sweepsPerRound = opt.smoke ? 8 : 4;
+        const int rounds = 5;
+        CVector amps = randomState(rng, n);
+        const std::size_t q0 = n / 3;
+        const std::size_t q1 = (2 * n) / 3;
+        const Matrix u = linalg::haarUnitary(rng, 4);
+
+        const sim::KernelTable &table = sim::activeKernels();
+        const double tHoisted = bestSeconds(rounds, [&] {
+            for (int s = 0; s < sweepsPerRound; ++s)
+                table.apply2q(amps.data(), n, q0, q1, u.data());
+        });
+        const double tDispatched = bestSeconds(rounds, [&] {
+            for (int s = 0; s < sweepsPerRound; ++s)
+                sim::apply2q(amps.data(), n, q0, q1, u.data());
+        });
+        const double perSweep = 1.0 / static_cast<double>(sweepsPerRound);
+        const double nsHoisted = 1e9 * tHoisted * perSweep;
+        const double nsDispatched = 1e9 * tDispatched * perSweep;
+        const double overheadPct =
+            nsHoisted > 0.0
+                ? 100.0 * (nsDispatched - nsHoisted) / nsHoisted
+                : 0.0;
+        bench::Scenario sc;
+        sc.name = "apply2q_indirection/n=" + std::to_string(n);
+        sc.params = {{"qubits", static_cast<double>(n)},
+                     {"sweeps_per_round",
+                      static_cast<double>(sweepsPerRound)}};
+        sc.metrics = {{"hoisted_ns_per_sweep", nsHoisted, "ns"},
+                      {"dispatched_ns_per_sweep", nsDispatched, "ns"},
+                      {"dispatch_overhead_pct", overheadPct, "%"}};
+        std::printf("  %-30s hoisted %10.1f ns   dispatched %10.1f ns "
+                    "(%+.2f%%)\n",
+                    sc.name.c_str(), nsHoisted, nsDispatched, overheadPct);
+        rep.scenarios.push_back(std::move(sc));
+    }
+
+    return rep;
+}
+
 /** One row of the --list table; kept in sync with selectFamily. */
 struct FamilyInfo
 {
@@ -797,6 +931,8 @@ constexpr FamilyInfo kFamilies[] = {
      "quantum-volume heavy-output harness (paper Figure 7)"},
     {"obs", "BENCH_obs_overhead.json",
      "tracing-overhead A/B of the instrumented kernel paths"},
+    {"dispatch", "BENCH_dispatch_backends.json",
+     "every compiled kernel backend forced in turn on one binary"},
 };
 
 int
@@ -815,7 +951,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [micro|sweep|batch|blocked|transpile|fig7|obs|all ...]\n"
+        "usage: %s [micro|sweep|batch|blocked|transpile|fig7|obs|\n"
+        "           dispatch|all ...]\n"
         "          [--smoke] [--scenario FAMILY] [--out-dir DIR]\n"
         "          [--trace PATH] [--list]\n"
         "\n"
@@ -843,7 +980,7 @@ main(int argc, char **argv)
     const auto selectFamily = [&](const std::string &s) {
         if (!scenarioChosen) {
             opt.micro = opt.sweep = opt.batch = opt.blocked =
-                opt.transpile = opt.fig7 = opt.obs = false;
+                opt.transpile = opt.fig7 = opt.obs = opt.dispatch = false;
             scenarioChosen = true;
         }
         if (s == "micro")
@@ -860,9 +997,11 @@ main(int argc, char **argv)
             opt.fig7 = true;
         else if (s == "obs")
             opt.obs = true;
+        else if (s == "dispatch")
+            opt.dispatch = true;
         else if (s == "all")
             opt.micro = opt.sweep = opt.batch = opt.blocked =
-                opt.transpile = opt.fig7 = opt.obs = true;
+                opt.transpile = opt.fig7 = opt.obs = opt.dispatch = true;
         else
             return false;
         return true;
@@ -914,8 +1053,12 @@ main(int argc, char **argv)
     obs::Trace combined;
     const auto runFamily = [&](bench::Report (*fn)(const Options &)) {
         obs::TraceSession session;
-        if (tracing)
+        if (tracing) {
             session.start();
+            // Stamp the resolved backend/lanes gauges into this
+            // session's trace (gauges set pre-start were dropped).
+            sim::recordDispatchGauges();
+        }
         bench::Report rep = fn(opt);
         if (tracing) {
             session.stop();
@@ -944,6 +1087,8 @@ main(int argc, char **argv)
         runFamily(runFig7);
     if (opt.obs)
         runFamily(runObsOverhead);
+    if (opt.dispatch)
+        runFamily(runDispatch);
 
     if (tracing) {
         obs::writeChromeTrace(combined, opt.trace);

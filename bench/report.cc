@@ -113,6 +113,13 @@ toJson(const Report &report)
     out += std::string("  \"git_dirty\": ") +
            (report.gitDirty ? "true" : "false") + ",\n";
     out += "  \"simd_backend\": \"" + escaped(report.simdBackend) + "\",\n";
+    out += "  \"simd_compiled\": [";
+    for (std::size_t i = 0; i < report.simdCompiled.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + escaped(report.simdCompiled[i]) + "\"";
+    }
+    out += "],\n";
     out += "  \"simd_lanes\": " + std::to_string(report.simdLanes) + ",\n";
     out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
     out += std::string("  \"smoke\": ") + (report.smoke ? "true" : "false") +

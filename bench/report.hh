@@ -6,11 +6,13 @@
  * uploads as an artifact:
  *
  *   {
- *     "schema_version": 2,
+ *     "schema_version": 3,
  *     "name": "micro",
  *     "git_sha": "abc1234",           // configure-time snapshot
  *     "git_dirty": false,             // working tree dirty at configure
- *     "simd_backend": "avx2",         // sim::simdBackendName()
+ *     "simd_backend": "avx2",         // runtime-resolved: sim::backendName()
+ *     "simd_compiled": ["scalar", "avx2", "avx512"],
+ *                                     // every backend in the binary
  *     "simd_lanes": 4,
  *     "threads": 8,                   // hardware concurrency
  *     "smoke": false,
@@ -37,17 +39,23 @@
  *   }
  *
  * Schema history: v2 added git_dirty (a bare sha from a dirty tree
- * misattributes perf results) and the "obs" block.
+ * misattributes perf results) and the "obs" block. v3 made
+ * simd_backend the runtime-resolved dispatch choice (it was the
+ * compile-time backend through v2) and added simd_compiled, the list
+ * of kernel backends carried by the binary — one artifact now covers
+ * every ISA, and the `dispatch` family forces each in turn.
  *
  * Only a tiny, dependency-free subset of JSON is produced: objects,
  * arrays, strings (ASCII, escaped), booleans, unsigned integers, and
  * finite doubles printed with 17 significant digits (NaN/inf serialize
  * as null). Scenario and metric names are free-form; the metric names
  * contract consumers rely on for regression tracking are
- * "speedup_vs_scalar" (micro family, SIMD kernels) and
- * "speedup_vs_unblocked" (blocked family, BENCH_blocked_sweep.json:
- * cache-blocked plan execution at n >= 26, expected >= 1.3x once the
- * statevector exceeds the LLC).
+ * "speedup_vs_scalar" (micro family, SIMD kernels; dispatch family,
+ * per forced backend), "speedup_vs_unblocked" (blocked family,
+ * BENCH_blocked_sweep.json: cache-blocked plan execution at n >= 26,
+ * expected >= 1.3x once the statevector exceeds the LLC), and
+ * "dispatch_overhead_pct" (dispatch family: the per-sweep table fetch
+ * vs a hoisted table pointer, contract < 1%).
  */
 
 #ifndef CRISC_BENCH_REPORT_HH
@@ -97,11 +105,12 @@ struct ObsSpanRow
 /** A whole BENCH_<name>.json document. */
 struct Report
 {
-    int schemaVersion = 2;
+    int schemaVersion = 3;
     std::string name;        ///< report family: "micro", "fig7", ...
     std::string gitSha;      ///< from reportGitSha().
     bool gitDirty = false;   ///< from reportGitDirty().
-    std::string simdBackend; ///< from sim::simdBackendName().
+    std::string simdBackend; ///< runtime-resolved: sim::backendName().
+    std::vector<std::string> simdCompiled; ///< sim::compiledBackends().
     std::size_t simdLanes = 1;
     unsigned threads = 1;    ///< hardware concurrency at run time.
     bool smoke = false;      ///< reduced CI sizes.

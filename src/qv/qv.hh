@@ -30,7 +30,10 @@ namespace qv {
 /** Native two-qubit instruction set used for compilation. */
 using NativeSet = device::NativeKind;
 
-/** Experiment configuration. */
+/** Experiment configuration. Knobs cover the three parallel axes and
+ *  blocking; the kernel SIMD backend is not configurable here — it is
+ *  process-global, resolved from CRISC_SIMD_DISPATCH or the CPU probe
+ *  (sim/dispatch.hh), and every backend is bit-identical anyway. */
 struct QvConfig
 {
     std::size_t width = 4;       ///< circuit size d (qubits and layers).

@@ -108,6 +108,13 @@ class ThreadPool
  * Options for state-parallel kernel sweep execution (engine.hh): how
  * one statevector's amplitude-group axis is partitioned over threads.
  * Defaults mean serial sweeps.
+ *
+ * The SIMD backend the sweeps run on is deliberately NOT an option
+ * here: it is process-global, resolved once from the
+ * CRISC_SIMD_DISPATCH environment variable or the CPU probe
+ * (sim/dispatch.hh), never per plan or per call — a per-plan backend
+ * would break the bit-identity story for batched Pauli noise, whose
+ * negation flavour must match the serial kernels of the same backend.
  */
 struct ExecOptions
 {

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hh"
 #include "sim/cache.hh"
+#include "sim/dispatch.hh"
 
 namespace crisc {
 namespace sim {
@@ -305,21 +306,23 @@ compile(const circuit::Circuit &c, const CompileOptions &opts)
 void
 executeOp(const KernelOp &op, Complex *amps, std::size_t n_qubits)
 {
+    // One dispatch-table fetch per sweep, never per amplitude.
+    const KernelTable &k = activeKernels();
     switch (op.kind) {
       case KernelKind::OneQ:
-        apply1q(amps, n_qubits, op.q0, op.m.data());
+        k.apply1q(amps, n_qubits, op.q0, op.m.data());
         return;
       case KernelKind::OneQDiag:
-        apply1qDiag(amps, n_qubits, op.q0, op.m[0], op.m[1]);
+        k.apply1qDiag(amps, n_qubits, op.q0, op.m[0], op.m[1]);
         return;
       case KernelKind::TwoQ:
-        apply2q(amps, n_qubits, op.q0, op.q1, op.m.data());
+        k.apply2q(amps, n_qubits, op.q0, op.q1, op.m.data());
         return;
       case KernelKind::TwoQDiag:
-        apply2qDiag(amps, n_qubits, op.q0, op.q1, op.m.data());
+        k.apply2qDiag(amps, n_qubits, op.q0, op.q1, op.m.data());
         return;
       case KernelKind::Dense:
-        applyDense(amps, n_qubits, op.dense, op.qubits);
+        k.applyDense(amps, n_qubits, op.dense, op.qubits);
         return;
     }
     throw std::logic_error("executeOp: unknown kernel kind");
@@ -346,26 +349,27 @@ void
 executeOpRange(const KernelOp &op, Complex *amps, std::size_t n_qubits,
                std::size_t group_begin, std::size_t group_end)
 {
+    const KernelTable &k = activeKernels();
     switch (op.kind) {
       case KernelKind::OneQ:
-        apply1qRange(amps, n_qubits, op.q0, op.m.data(), group_begin,
-                     group_end);
+        k.apply1qRange(amps, n_qubits, op.q0, op.m.data(), group_begin,
+                       group_end);
         return;
       case KernelKind::OneQDiag:
-        apply1qDiagRange(amps, n_qubits, op.q0, op.m[0], op.m[1],
-                         group_begin, group_end);
+        k.apply1qDiagRange(amps, n_qubits, op.q0, op.m[0], op.m[1],
+                           group_begin, group_end);
         return;
       case KernelKind::TwoQ:
-        apply2qRange(amps, n_qubits, op.q0, op.q1, op.m.data(),
-                     group_begin, group_end);
+        k.apply2qRange(amps, n_qubits, op.q0, op.q1, op.m.data(),
+                       group_begin, group_end);
         return;
       case KernelKind::TwoQDiag:
-        apply2qDiagRange(amps, n_qubits, op.q0, op.q1, op.m.data(),
-                         group_begin, group_end);
+        k.apply2qDiagRange(amps, n_qubits, op.q0, op.q1, op.m.data(),
+                           group_begin, group_end);
         return;
       case KernelKind::Dense:
-        applyDenseRange(amps, n_qubits, op.dense, op.qubits, group_begin,
-                        group_end);
+        k.applyDenseRange(amps, n_qubits, op.dense, op.qubits, group_begin,
+                          group_end);
         return;
     }
     throw std::logic_error("executeOpRange: unknown kernel kind");
@@ -432,21 +436,27 @@ executeOpBatched(const KernelOp &op, BatchState &batch)
     double *im = batch.im();
     const std::size_t n = batch.numQubits();
     const std::size_t b = batch.batch();
+    const std::size_t dim = std::size_t{1} << n;
+    const KernelTable &k = activeKernels();
     switch (op.kind) {
       case KernelKind::OneQ:
-        apply1qBatch(re, im, n, b, op.q0, op.m.data());
+        k.apply1qBatchRange(re, im, n, b, op.q0, op.m.data(), 0, dim >> 1);
         return;
       case KernelKind::OneQDiag:
-        apply1qDiagBatch(re, im, n, b, op.q0, op.m[0], op.m[1]);
+        k.apply1qDiagBatchRange(re, im, n, b, op.q0, op.m[0], op.m[1], 0,
+                                dim >> 1);
         return;
       case KernelKind::TwoQ:
-        apply2qBatch(re, im, n, b, op.q0, op.q1, op.m.data());
+        k.apply2qBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(), 0,
+                            dim >> 2);
         return;
       case KernelKind::TwoQDiag:
-        apply2qDiagBatch(re, im, n, b, op.q0, op.q1, op.m.data());
+        k.apply2qDiagBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(), 0,
+                                dim >> 2);
         return;
       case KernelKind::Dense:
-        applyDenseBatch(re, im, n, b, op.dense, op.qubits);
+        k.applyDenseBatchRange(re, im, n, b, op.dense, op.qubits, 0,
+                               dim >> op.qubits.size());
         return;
     }
     throw std::logic_error("executeOpBatched: unknown kernel kind");
@@ -460,26 +470,27 @@ executeOpBatchedRange(const KernelOp &op, BatchState &batch,
     double *im = batch.im();
     const std::size_t n = batch.numQubits();
     const std::size_t b = batch.batch();
+    const KernelTable &k = activeKernels();
     switch (op.kind) {
       case KernelKind::OneQ:
-        apply1qBatchRange(re, im, n, b, op.q0, op.m.data(), group_begin,
-                          group_end);
+        k.apply1qBatchRange(re, im, n, b, op.q0, op.m.data(), group_begin,
+                            group_end);
         return;
       case KernelKind::OneQDiag:
-        apply1qDiagBatchRange(re, im, n, b, op.q0, op.m[0], op.m[1],
-                              group_begin, group_end);
+        k.apply1qDiagBatchRange(re, im, n, b, op.q0, op.m[0], op.m[1],
+                                group_begin, group_end);
         return;
       case KernelKind::TwoQ:
-        apply2qBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(),
-                          group_begin, group_end);
+        k.apply2qBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(),
+                            group_begin, group_end);
         return;
       case KernelKind::TwoQDiag:
-        apply2qDiagBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(),
-                              group_begin, group_end);
+        k.apply2qDiagBatchRange(re, im, n, b, op.q0, op.q1, op.m.data(),
+                                group_begin, group_end);
         return;
       case KernelKind::Dense:
-        applyDenseBatchRange(re, im, n, b, op.dense, op.qubits,
-                             group_begin, group_end);
+        k.applyDenseBatchRange(re, im, n, b, op.dense, op.qubits,
+                               group_begin, group_end);
         return;
     }
     throw std::logic_error("executeOpBatchedRange: unknown kernel kind");

@@ -8,15 +8,19 @@
  * (1q) and quads (2q) are enumerated in ascending memory order with no
  * per-group index buffers, and diagonal gates touch each amplitude once.
  *
- * The top-level kernels run split-complex SIMD inner loops (AVX2, NEON,
- * or a scalar fallback, selected at configure time via the CRISC_SIMD
- * CMake option — see simd.hh) whenever the addressed contiguous run is
- * at least one vector wide, and fall back to the scalar reference
+ * The top-level sim::apply* entry points below are thin wrappers over a
+ * runtime-dispatched kernel table: every binary carries one compiled
+ * kernel set per SIMD backend the compiler could build (scalar always;
+ * AVX2/AVX-512 on x86-64; NEON on aarch64), and src/sim/dispatch.hh
+ * picks among them once per process — by CPU probe, or forced via the
+ * CRISC_SIMD_DISPATCH environment variable. Each backend's kernels run
+ * split-complex SIMD inner loops whenever the addressed contiguous run
+ * is at least one vector wide and fall back to the scalar reference
  * kernels in sim::scalar otherwise. The SIMD lanes execute exactly the
- * scalar operation sequence, so both paths produce bit-identical
+ * scalar operation sequence, so every backend produces bit-identical
  * results for finite amplitudes; tests and the benchmark runner pin
- * this equivalence, and benchmarks report the speedup against the
- * sim::scalar baseline.
+ * this equivalence per selectable backend, and benchmarks report the
+ * speedup against the sim::scalar baseline.
  *
  * Every kernel sweep enumerates an independent *group* per iteration —
  * an amplitude pair (1q), quad (2q), or 2^k-tuple (dense) — and groups
@@ -54,12 +58,14 @@ using linalg::Complex;
 using linalg::Matrix;
 
 /**
- * Name of the SIMD backend the kernels were compiled with ("avx2",
- * "neon", or "scalar"); recorded by the benchmark runner.
+ * Name of the runtime-resolved SIMD backend serving this process
+ * ("scalar", "avx2", "avx512", or "neon"); recorded by the benchmark
+ * runner. Alias for sim::backendName() in dispatch.hh.
  */
 const char *simdBackendName();
 
-/** Complex lanes per SIMD vector (4 for AVX2, 2 for NEON, 1 scalar). */
+/** Complex lanes per SIMD vector of the resolved backend (8 for
+ *  AVX-512, 4 for AVX2, 2 for NEON, 1 scalar). */
 std::size_t simdLanes();
 
 /**

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * AVX2 backend stamp: kernels_impl.hh instantiated over the 4-lane
+ * __m256d simd backend. Compiled with -mavx2 -ffp-contract=off (see
+ * CMakeLists.txt); only dispatch.cc may call into this TU, and only
+ * after the CPU probe (or an explicit override) confirmed AVX2.
+ */
+
+#define CRISC_SIMD_STAMP_AVX2 1
+#define CRISC_KERNEL_TABLE_FN avx2KernelTable
+#define CRISC_KERNEL_BACKEND_ID Backend::Avx2
+
+#include "sim/kernels_impl.hh"

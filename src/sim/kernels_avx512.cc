@@ -1,0 +1,16 @@
+/**
+ * @file
+ * AVX-512F backend stamp: kernels_impl.hh instantiated over the 8-lane
+ * __m512d simd backend, the first backend with mask-register tails
+ * (simd::kMaskedTails) — batched lane tails run through the vector body
+ * under a mask instead of a scalar remainder loop. Compiled with
+ * -mavx512f -ffp-contract=off (see CMakeLists.txt); only dispatch.cc
+ * may call into this TU, and only after the CPU probe (or an explicit
+ * override) confirmed AVX-512F.
+ */
+
+#define CRISC_SIMD_STAMP_AVX512 1
+#define CRISC_KERNEL_TABLE_FN avx512KernelTable
+#define CRISC_KERNEL_BACKEND_ID Backend::Avx512
+
+#include "sim/kernels_impl.hh"

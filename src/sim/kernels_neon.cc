@@ -1,0 +1,13 @@
+/**
+ * @file
+ * NEON backend stamp: kernels_impl.hh instantiated over the 2-lane
+ * float64x2_t simd backend. Compiled only on aarch64 targets, where
+ * NEON is architectural (no extra -m flags; still -ffp-contract=off,
+ * see CMakeLists.txt).
+ */
+
+#define CRISC_SIMD_STAMP_NEON 1
+#define CRISC_KERNEL_TABLE_FN neonKernelTable
+#define CRISC_KERNEL_BACKEND_ID Backend::Neon
+
+#include "sim/kernels_impl.hh"

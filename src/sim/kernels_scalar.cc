@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Scalar backend stamp: kernels_impl.hh instantiated over the portable
+ * one-lane simd backend. Always compiled; the dispatcher's fallback of
+ * last resort and the bit-identity reference every other backend is
+ * tested against.
+ */
+
+#define CRISC_SIMD_STAMP_SCALAR 1
+#define CRISC_KERNEL_TABLE_FN scalarKernelTable
+#define CRISC_KERNEL_BACKEND_ID Backend::Scalar
+
+#include "sim/kernels_impl.hh"

@@ -50,8 +50,8 @@ bitIdentical(const CVector &a, const CVector &b)
 TEST(Simd, BackendIsWellFormed)
 {
     const std::string backend = sim::simdBackendName();
-    EXPECT_TRUE(backend == "avx2" || backend == "neon" ||
-                backend == "scalar")
+    EXPECT_TRUE(backend == "avx2" || backend == "avx512" ||
+                backend == "neon" || backend == "scalar")
         << backend;
     const std::size_t lanes = sim::simdLanes();
     EXPECT_GE(lanes, 1u);
