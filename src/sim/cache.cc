@@ -1,11 +1,10 @@
 #include "cache.hh"
 
-#include <cstdlib>
-
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
 
+#include "env.hh"
 #include "linalg/matrix.hh"
 
 namespace crisc {
@@ -21,20 +20,6 @@ clampBlockBytes(unsigned long long bytes)
     if (bytes > kMaxBlockBytes)
         return kMaxBlockBytes;
     return static_cast<std::size_t>(bytes);
-}
-
-/** The CRISC_BLOCK_BYTES override, or 0 when unset/unparsable. */
-std::size_t
-envBlockBytes()
-{
-    const char *env = std::getenv("CRISC_BLOCK_BYTES");
-    if (env == nullptr || *env == '\0')
-        return 0;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0' || parsed == 0)
-        return 0; // unparsable or zero: fall through to detection.
-    return clampBlockBytes(parsed);
 }
 
 /** Detected per-core L2 data cache size in bytes, or 0. */
@@ -54,8 +39,8 @@ detectedL2Bytes()
 std::size_t
 cacheBlockBytes()
 {
-    if (const std::size_t env = envBlockBytes())
-        return env;
+    if (const std::size_t override = env::blockBytes())
+        return clampBlockBytes(override);
     if (const std::size_t l2 = detectedL2Bytes())
         return clampBlockBytes(l2 / 2);
     return kFallbackBlockBytes;

@@ -45,17 +45,18 @@ constexpr std::size_t kAutoBlockFromWidth = 24;
  * Target footprint in bytes of one amplitude block for blocked
  * execution. Resolution order:
  *
- *   1. the CRISC_BLOCK_BYTES environment variable, when it parses as a
- *      positive byte count (clamped to [kMinBlockBytes,
- *      kMaxBlockBytes]);
+ *   1. the CRISC_BLOCK_BYTES environment variable (sim/env.hh), when
+ *      set to a positive byte count (clamped to [kMinBlockBytes,
+ *      kMaxBlockBytes]; "" and "0" mean "no override"; anything
+ *      non-numeric throws std::invalid_argument from the parse);
  *   2. half the detected per-core L2 data cache
  *      (sysconf(_SC_LEVEL2_CACHE_SIZE)) — half, so the block shares
  *      the cache with the rest of the working set;
  *   3. kFallbackBlockBytes when detection is unavailable or reports
  *      nothing.
  *
- * Re-reads the environment on every call (cheap), so tests can steer
- * the heuristic with setenv.
+ * The environment is parsed once per process (sim/env.hh); tests that
+ * setenv the override call sim::env::resetForTesting() to re-read.
  */
 std::size_t cacheBlockBytes();
 

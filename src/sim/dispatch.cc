@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 
 #include "obs/obs.hh"
+#include "sim/env.hh"
 #include "sim/kernels.hh"
 
 // Runtime backend resolution (see dispatch.hh) and the public sim::
@@ -94,8 +94,7 @@ resolve(const std::string &value)
 const KernelTable &
 resolveFromEnvironment()
 {
-    const char *env = std::getenv("CRISC_SIMD_DISPATCH");
-    return resolve(env ? env : "");
+    return resolve(env::simdDispatch());
 }
 
 } // namespace

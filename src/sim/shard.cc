@@ -1,0 +1,897 @@
+#include "shard.hh"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hh"
+#include "sim/cache.hh"
+#include "sim/env.hh"
+#include "sim/kernels_util.hh"
+
+namespace crisc {
+namespace sim {
+
+using detail::insertZeroBit;
+using detail::laneAmp;
+using detail::setLane;
+
+namespace {
+
+bool
+isDiagKind(KernelKind k)
+{
+    return k == KernelKind::OneQDiag || k == KernelKind::TwoQDiag;
+}
+
+/** Logical gate qubits of @p op, in gate-significance order. */
+void
+opLogicalTargets(const KernelOp &op, std::vector<std::size_t> &out)
+{
+    out.clear();
+    switch (op.kind) {
+      case KernelKind::OneQ:
+      case KernelKind::OneQDiag:
+        out.push_back(op.q0);
+        return;
+      case KernelKind::TwoQ:
+      case KernelKind::TwoQDiag:
+        out.push_back(op.q0);
+        out.push_back(op.q1);
+        return;
+      case KernelKind::Dense:
+        out = op.qubits;
+        return;
+    }
+    throw std::logic_error("opLogicalTargets: unknown kernel kind");
+}
+
+/**
+ * The shard-scheduling pass (see shard.hh): walks the plan once,
+ * tracking the logical-to-physical layout the emitted remaps induce,
+ * and lowers every op into the step stream.
+ */
+class ShardCompiler
+{
+  public:
+    ShardCompiler(const Plan &plan, std::size_t shard_bits,
+                  const ShardOptions &opts)
+        : plan_(plan), n_(plan.numQubits()), s_(shard_bits),
+          lowering_(opts.lowering)
+    {
+        physOf_.resize(n_);
+        logicalAt_.resize(n_);
+        for (std::size_t j = 0; j < n_; ++j)
+            physOf_[j] = logicalAt_[j] = j;
+    }
+
+    ShardPlan compile()
+    {
+        const std::vector<KernelOp> &ops = plan_.ops();
+        std::vector<std::size_t> targets;
+        std::vector<std::size_t> positions;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const KernelOp &op = ops[i];
+            for (;;) {
+                opLogicalTargets(op, targets);
+                positions.clear();
+                std::size_t shardTargets = 0;
+                for (const std::size_t q : targets) {
+                    positions.push_back(physOf_[q]);
+                    if (physOf_[q] < s_)
+                        ++shardTargets;
+                }
+                if (shardTargets == 0) {
+                    pendingLocal_.push_back(rewriteLocal(op));
+                    break;
+                }
+                if (isDiagKind(op.kind)) {
+                    emitDiag(op);
+                    break;
+                }
+                if (mustRemap(op, i, shardTargets)) {
+                    // Pull the most significant crossing target local
+                    // and re-classify; Dense ops loop here once per
+                    // shard-bit target.
+                    std::size_t p = s_;
+                    for (const std::size_t pos : positions)
+                        if (pos < s_ && pos < p)
+                            p = pos;
+                    emitRemap(p, pickColdLocal(i, positions));
+                    continue;
+                }
+                emitExchange(op, positions);
+                break;
+            }
+        }
+        flushLocal();
+        restoreLayout();
+
+        PlanStats stats = plan_.stats();
+        stats.exchangeOps = exchanges_;
+        stats.remapOps = remaps_;
+        return ShardPlan(n_, s_, std::move(steps_), stats);
+    }
+
+  private:
+    /** True when the crossing op must (or should, under Auto) leave
+     *  the shard bits by remap rather than exchange. */
+    bool mustRemap(const KernelOp &op, std::size_t op_index,
+                   std::size_t shard_targets)
+    {
+        if (op.kind == KernelKind::Dense)
+            return true;
+        if (op.kind == KernelKind::TwoQ && shard_targets == 2)
+            return true;
+        if (lowering_ != ShardLowering::Auto)
+            return false;
+        // Auto: remap a crossing qubit with at least one more
+        // non-diagonal use later — the half-slice remap then replaces
+        // every future exchange of that qubit.
+        const std::size_t q = op.kind == KernelKind::TwoQ
+                                  ? (physOf_[op.q0] < s_ ? op.q0 : op.q1)
+                                  : op.q0;
+        return nextNonDiagUse(op_index + 1, q) < plan_.ops().size();
+    }
+
+    /** Index of the first non-diagonal op at or after @p from
+     *  targeting logical qubit @p q; ops().size() when none. */
+    std::size_t nextNonDiagUse(std::size_t from, std::size_t q) const
+    {
+        const std::vector<KernelOp> &ops = plan_.ops();
+        for (std::size_t j = from; j < ops.size(); ++j) {
+            const KernelOp &op = ops[j];
+            if (isDiagKind(op.kind))
+                continue;
+            switch (op.kind) {
+              case KernelKind::OneQ:
+                if (op.q0 == q)
+                    return j;
+                break;
+              case KernelKind::TwoQ:
+                if (op.q0 == q || op.q1 == q)
+                    return j;
+                break;
+              case KernelKind::Dense:
+                for (const std::size_t t : op.qubits)
+                    if (t == q)
+                        return j;
+                break;
+              default:
+                break;
+            }
+        }
+        return ops.size();
+    }
+
+    /** The local position whose resident qubit is coldest: farthest
+     *  next non-diagonal use after op @p op_index, excluding the
+     *  current op's target positions. */
+    std::size_t pickColdLocal(std::size_t op_index,
+                              const std::vector<std::size_t> &busy) const
+    {
+        std::size_t best = n_;
+        std::size_t bestScore = 0;
+        for (std::size_t j = s_; j < n_; ++j) {
+            bool taken = false;
+            for (const std::size_t pos : busy)
+                if (pos == j)
+                    taken = true;
+            if (taken)
+                continue;
+            const std::size_t score =
+                nextNonDiagUse(op_index + 1, logicalAt_[j]);
+            if (best == n_ || score > bestScore) {
+                best = j;
+                bestScore = score;
+            }
+        }
+        if (best == n_)
+            throw std::runtime_error(
+                "compileSharded: no free local position to remap a "
+                "crossing target to — the register is too narrow for "
+                "this op at this shard count");
+        return best;
+    }
+
+    KernelOp rewriteLocal(const KernelOp &op) const
+    {
+        KernelOp out = op;
+        switch (op.kind) {
+          case KernelKind::OneQ:
+          case KernelKind::OneQDiag:
+            out.q0 = physOf_[op.q0] - s_;
+            break;
+          case KernelKind::TwoQ:
+          case KernelKind::TwoQDiag:
+            out.q0 = physOf_[op.q0] - s_;
+            out.q1 = physOf_[op.q1] - s_;
+            break;
+          case KernelKind::Dense:
+            for (std::size_t &q : out.qubits)
+                q = physOf_[q] - s_;
+            break;
+        }
+        return out;
+    }
+
+    void flushLocal()
+    {
+        if (pendingLocal_.empty())
+            return;
+        PlanStats stats;
+        stats.kernelOps = pendingLocal_.size();
+        auto sub = std::make_shared<Plan>(n_ - s_, std::move(pendingLocal_),
+                                          stats);
+        pendingLocal_.clear();
+        ShardStep step;
+        step.kind = ShardStepKind::Local;
+        step.local = std::move(sub);
+        steps_.push_back(std::move(step));
+    }
+
+    void emitDiag(const KernelOp &op)
+    {
+        flushLocal();
+        ShardStep step;
+        step.kind = ShardStepKind::Diag;
+        step.opKind = op.kind;
+        step.m = op.m;
+        step.posHi = physOf_[op.q0];
+        if (op.kind == KernelKind::TwoQDiag)
+            step.posLo = physOf_[op.q1];
+        steps_.push_back(std::move(step));
+    }
+
+    void emitExchange(const KernelOp &op,
+                      const std::vector<std::size_t> &positions)
+    {
+        flushLocal();
+        ShardStep step;
+        step.kind = ShardStepKind::Exchange;
+        step.opKind = op.kind;
+        step.m = op.m;
+        step.posHi = positions[0];
+        if (op.kind == KernelKind::TwoQ) {
+            step.posLo = positions[1];
+            step.hiIsShard = step.posHi < s_;
+            step.shardPos = step.hiIsShard ? step.posHi : step.posLo;
+            step.localPos = step.hiIsShard ? step.posLo : step.posHi;
+        } else {
+            step.shardPos = step.posHi;
+        }
+        steps_.push_back(std::move(step));
+        ++exchanges_;
+    }
+
+    void emitRemap(std::size_t shard_pos, std::size_t local_pos)
+    {
+        flushLocal();
+        ShardStep step;
+        step.kind = ShardStepKind::Remap;
+        step.remapShardPos = shard_pos;
+        step.remapLocalPos = local_pos;
+        steps_.push_back(std::move(step));
+        history_.emplace_back(shard_pos, local_pos);
+        applySwap(shard_pos, local_pos);
+        ++remaps_;
+    }
+
+    void applySwap(std::size_t a, std::size_t b)
+    {
+        const std::size_t qa = logicalAt_[a];
+        const std::size_t qb = logicalAt_[b];
+        logicalAt_[a] = qb;
+        logicalAt_[b] = qa;
+        physOf_[qa] = b;
+        physOf_[qb] = a;
+    }
+
+    bool layoutIsIdentity() const
+    {
+        for (std::size_t j = 0; j < n_; ++j)
+            if (logicalAt_[j] != j)
+                return false;
+        return true;
+    }
+
+    /**
+     * Emits closing remaps so executeSharded leaves the register in
+     * the canonical layout: the recorded transpositions, replayed in
+     * reverse, invert the accumulated permutation; once the layout
+     * hits identity the remaining replay composes to a no-op and is
+     * skipped.
+     */
+    void restoreLayout()
+    {
+        for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+            if (layoutIsIdentity())
+                return;
+            ShardStep step;
+            step.kind = ShardStepKind::Remap;
+            step.remapShardPos = it->first;
+            step.remapLocalPos = it->second;
+            steps_.push_back(std::move(step));
+            applySwap(it->first, it->second);
+            ++remaps_;
+        }
+    }
+
+    const Plan &plan_;
+    std::size_t n_;
+    std::size_t s_;
+    ShardLowering lowering_;
+    std::vector<std::size_t> physOf_;    ///< logical qubit -> position.
+    std::vector<std::size_t> logicalAt_; ///< position -> logical qubit.
+    std::vector<KernelOp> pendingLocal_;
+    std::vector<ShardStep> steps_;
+    std::vector<std::pair<std::size_t, std::size_t>> history_;
+    std::size_t exchanges_ = 0;
+    std::size_t remaps_ = 0;
+};
+
+} // namespace
+
+ShardPlan::ShardPlan(std::size_t num_qubits, std::size_t shard_bits,
+                     std::vector<ShardStep> steps, PlanStats stats)
+    : nQubits_(num_qubits), shardBits_(shard_bits), steps_(std::move(steps)),
+      stats_(stats)
+{
+}
+
+std::uint64_t
+ShardPlan::plannedTransportBytes() const
+{
+    const std::uint64_t sliceBytes =
+        std::uint64_t{sliceDim()} * sizeof(Complex);
+    std::uint64_t total = 0;
+    for (const ShardStep &step : steps_) {
+        if (step.kind == ShardStepKind::Exchange)
+            total += std::uint64_t{shardCount()} * sliceBytes;
+        else if (step.kind == ShardStepKind::Remap)
+            total += std::uint64_t{shardCount()} * (sliceBytes / 2);
+    }
+    return total;
+}
+
+std::size_t
+resolveShardBits(std::size_t requested, std::size_t n_qubits)
+{
+    std::size_t s = requested == 0 ? env::shardBits() : requested;
+    if (n_qubits == 0)
+        return 0;
+    if (s >= n_qubits)
+        s = n_qubits - 1; // keep at least one local index bit.
+    return s;
+}
+
+ShardPlan
+compileSharded(const Plan &plan, std::size_t shard_bits,
+               const ShardOptions &opts)
+{
+    if (shard_bits != 0 && shard_bits >= plan.numQubits())
+        throw std::invalid_argument(
+            "compileSharded: shard_bits must be below the plan width");
+    OBS_SPAN("sim.shard_compile");
+    return ShardCompiler(plan, shard_bits, opts).compile();
+}
+
+namespace {
+
+/** Shard k's value of the global index bit a shard position
+ *  addresses. */
+std::size_t
+shardBit(std::size_t k, std::size_t s, std::size_t pos)
+{
+    return (k >> (s - 1 - pos)) & 1;
+}
+
+/** Runs every task over [0, count) — the shard axis — on the pool
+ *  when one is available, inline otherwise. */
+void
+forEachShard(ThreadPool *pool, std::size_t count,
+             const std::function<void(std::size_t)> &fn)
+{
+    if (pool != nullptr && pool->size() > 1)
+        pool->parallelFor(count, fn);
+    else
+        for (std::size_t k = 0; k < count; ++k)
+            fn(k);
+}
+
+/**
+ * Serial within-shard execution of a local sub-plan: the unsharded
+ * Plan-level routing (blocked when opts.blockQubits resolves for the
+ * slice width) with the shard task as the parallel granule instead of
+ * the sweep.
+ */
+void
+executeLocalSerial(const Plan &plan, Complex *amps, std::size_t block_qubits)
+{
+    const std::size_t block = resolveBlockQubits(block_qubits,
+                                                 plan.numQubits());
+    if (block != 0) {
+        executeBlocked(plan, amps, block);
+        return;
+    }
+    execute(plan, amps);
+}
+
+/** One local op on a shard's SoA slice (full sweep, batched
+ *  kernels). */
+void
+executeOpBatchedRaw(const KernelOp &op, double *re, double *im,
+                    std::size_t n_qubits, std::size_t batch)
+{
+    switch (op.kind) {
+      case KernelKind::OneQ:
+        apply1qBatch(re, im, n_qubits, batch, op.q0, op.m.data());
+        return;
+      case KernelKind::OneQDiag:
+        apply1qDiagBatch(re, im, n_qubits, batch, op.q0, op.m[0], op.m[1]);
+        return;
+      case KernelKind::TwoQ:
+        apply2qBatch(re, im, n_qubits, batch, op.q0, op.q1, op.m.data());
+        return;
+      case KernelKind::TwoQDiag:
+        apply2qDiagBatch(re, im, n_qubits, batch, op.q0, op.q1,
+                         op.m.data());
+        return;
+      case KernelKind::Dense:
+        applyDenseBatch(re, im, n_qubits, batch, op.dense, op.qubits);
+        return;
+    }
+    throw std::logic_error("executeOpBatchedRaw: unknown kernel kind");
+}
+
+/** The per-shard diagonal selection of a Diag step: every amplitude
+ *  of shard k agrees on the shard-bit targets, so the op degenerates
+ *  to a whole-slice scale or a local 1q diagonal. */
+struct DiagSelection
+{
+    bool wholeSlice = false;
+    std::size_t localQubit = 0; ///< slice-local qubit when !wholeSlice.
+    Complex d0, d1;             ///< d0 == d1 for the whole-slice form.
+};
+
+DiagSelection
+selectDiag(const ShardStep &step, std::size_t k, std::size_t s)
+{
+    DiagSelection sel;
+    if (step.opKind == KernelKind::OneQDiag) {
+        sel.wholeSlice = true;
+        sel.d0 = sel.d1 = step.m[shardBit(k, s, step.posHi)];
+        return sel;
+    }
+    const bool hiShard = step.posHi < s;
+    const bool loShard = step.posLo < s;
+    if (hiShard && loShard) {
+        const std::size_t bh = shardBit(k, s, step.posHi);
+        const std::size_t bl = shardBit(k, s, step.posLo);
+        sel.wholeSlice = true;
+        sel.d0 = sel.d1 = step.m[2 * bh + bl];
+    } else if (hiShard) {
+        const std::size_t bh = shardBit(k, s, step.posHi);
+        sel.localQubit = step.posLo - s;
+        sel.d0 = step.m[2 * bh];
+        sel.d1 = step.m[2 * bh + 1];
+    } else {
+        const std::size_t bl = shardBit(k, s, step.posLo);
+        sel.localQubit = step.posHi - s;
+        sel.d0 = step.m[bl];
+        sel.d1 = step.m[2 + bl];
+    }
+    return sel;
+}
+
+/**
+ * The per-shard update of an Exchange step on interleaved amplitudes:
+ * own rows of every crossing group, computed from the shard's slice
+ * plus the partner slice received into @p oth, with the serial
+ * kernels' per-amplitude IEEE expression order (operands loaded
+ * before any store, products summed left to right).
+ */
+void
+exchangeUpdate(const ShardStep &step, std::size_t k, std::size_t s,
+               std::size_t local_bits, Complex *own, const Complex *oth)
+{
+    const std::size_t slice = std::size_t{1} << local_bits;
+    const std::size_t bit = shardBit(k, s, step.shardPos);
+    const Complex *m = step.m.data();
+    if (step.opKind == KernelKind::OneQ) {
+        if (bit == 0) {
+            for (std::size_t j = 0; j < slice; ++j) {
+                const Complex a0 = own[j];
+                const Complex a1 = oth[j];
+                own[j] = m[0] * a0 + m[1] * a1;
+            }
+        } else {
+            for (std::size_t j = 0; j < slice; ++j) {
+                const Complex a0 = oth[j];
+                const Complex a1 = own[j];
+                own[j] = m[2] * a0 + m[3] * a1;
+            }
+        }
+        return;
+    }
+    // TwoQ with one local target: gate basis r = 2*b_hi + b_lo; the
+    // shard bit pins one gate bit, the local bit lm the other.
+    const std::size_t lpos = local_bits - 1 - (step.localPos - s);
+    const std::size_t lm = std::size_t{1} << lpos;
+    const std::size_t r0 = step.hiIsShard ? 2 * bit : bit;
+    const std::size_t r1 = step.hiIsShard ? 2 * bit + 1 : 2 + bit;
+    for (std::size_t g = 0; g < (slice >> 1); ++g) {
+        const std::size_t j0 = insertZeroBit(g, lpos);
+        const std::size_t j1 = j0 | lm;
+        Complex a0, a1, a2, a3;
+        if (step.hiIsShard) {
+            a0 = bit == 0 ? own[j0] : oth[j0];
+            a1 = bit == 0 ? own[j1] : oth[j1];
+            a2 = bit == 0 ? oth[j0] : own[j0];
+            a3 = bit == 0 ? oth[j1] : own[j1];
+        } else {
+            a0 = bit == 0 ? own[j0] : oth[j0];
+            a1 = bit == 0 ? oth[j0] : own[j0];
+            a2 = bit == 0 ? own[j1] : oth[j1];
+            a3 = bit == 0 ? oth[j1] : own[j1];
+        }
+        const Complex o0 = m[4 * r0 + 0] * a0 + m[4 * r0 + 1] * a1 +
+                           m[4 * r0 + 2] * a2 + m[4 * r0 + 3] * a3;
+        const Complex o1 = m[4 * r1 + 0] * a0 + m[4 * r1 + 1] * a1 +
+                           m[4 * r1 + 2] * a2 + m[4 * r1 + 3] * a3;
+        own[j0] = o0;
+        own[j1] = o1;
+    }
+}
+
+/** exchangeUpdate on one shard's SoA slice: identical expressions per
+ *  lane. */
+void
+exchangeUpdateBatched(const ShardStep &step, std::size_t k, std::size_t s,
+                      std::size_t local_bits, std::size_t batch,
+                      double *re, double *im, const double *ore,
+                      const double *oim)
+{
+    const std::size_t slice = std::size_t{1} << local_bits;
+    const std::size_t bit = shardBit(k, s, step.shardPos);
+    const Complex *m = step.m.data();
+    if (step.opKind == KernelKind::OneQ) {
+        for (std::size_t j = 0; j < slice; ++j) {
+            const std::size_t at = j * batch;
+            for (std::size_t t = 0; t < batch; ++t) {
+                const Complex ownAmp = laneAmp(re, im, at + t);
+                const Complex othAmp = laneAmp(ore, oim, at + t);
+                if (bit == 0) {
+                    const Complex a0 = ownAmp;
+                    const Complex a1 = othAmp;
+                    setLane(re, im, at + t, m[0] * a0 + m[1] * a1);
+                } else {
+                    const Complex a0 = othAmp;
+                    const Complex a1 = ownAmp;
+                    setLane(re, im, at + t, m[2] * a0 + m[3] * a1);
+                }
+            }
+        }
+        return;
+    }
+    const std::size_t lpos = local_bits - 1 - (step.localPos - s);
+    const std::size_t lm = std::size_t{1} << lpos;
+    const std::size_t r0 = step.hiIsShard ? 2 * bit : bit;
+    const std::size_t r1 = step.hiIsShard ? 2 * bit + 1 : 2 + bit;
+    for (std::size_t g = 0; g < (slice >> 1); ++g) {
+        const std::size_t o0 = insertZeroBit(g, lpos) * batch;
+        const std::size_t o1 = o0 + lm * batch;
+        for (std::size_t t = 0; t < batch; ++t) {
+            const Complex own0 = laneAmp(re, im, o0 + t);
+            const Complex own1 = laneAmp(re, im, o1 + t);
+            const Complex oth0 = laneAmp(ore, oim, o0 + t);
+            const Complex oth1 = laneAmp(ore, oim, o1 + t);
+            Complex a0, a1, a2, a3;
+            if (step.hiIsShard) {
+                a0 = bit == 0 ? own0 : oth0;
+                a1 = bit == 0 ? own1 : oth1;
+                a2 = bit == 0 ? oth0 : own0;
+                a3 = bit == 0 ? oth1 : own1;
+            } else {
+                a0 = bit == 0 ? own0 : oth0;
+                a1 = bit == 0 ? oth0 : own0;
+                a2 = bit == 0 ? own1 : oth1;
+                a3 = bit == 0 ? oth1 : own1;
+            }
+            setLane(re, im, o0 + t,
+                    m[4 * r0 + 0] * a0 + m[4 * r0 + 1] * a1 +
+                        m[4 * r0 + 2] * a2 + m[4 * r0 + 3] * a3);
+            setLane(re, im, o1 + t,
+                    m[4 * r1 + 0] * a0 + m[4 * r1 + 1] * a1 +
+                        m[4 * r1 + 2] * a2 + m[4 * r1 + 3] * a3);
+        }
+    }
+}
+
+/** Slice offset of the g-th element of a remap's moving half: the
+ *  local offsets whose remapped bit disagrees with the shard bit. */
+std::size_t
+remapOffset(std::size_t g, std::size_t lpos, std::size_t moving_bit)
+{
+    const std::size_t lm = std::size_t{1} << lpos;
+    return insertZeroBit(g, lpos) | (moving_bit ? lm : 0);
+}
+
+} // namespace
+
+void
+executeSharded(const ShardPlan &plan, Complex *amps, const ExecOptions &opts,
+               Transport *transport)
+{
+    const std::size_t s = plan.shardBits();
+    const std::size_t L = plan.numQubits() - s;
+    const std::size_t S = plan.shardCount();
+    const std::size_t slice = plan.sliceDim();
+    OBS_SPAN("sim.shard_plan");
+
+    std::optional<ThreadPool> transient;
+    ExecOptions resolved = opts;
+    if (resolved.pool == nullptr && opts.threads != 1) {
+        transient.emplace(opts.threads);
+        resolved.pool = &*transient;
+    }
+    ThreadPool *pool = resolved.pool;
+
+    std::optional<InProcessTransport> inProcess;
+    if (transport == nullptr) {
+        inProcess.emplace(pool);
+        transport = &*inProcess;
+    }
+
+    bool anyExchange = false;
+    bool anyRemap = false;
+    for (const ShardStep &step : plan.steps()) {
+        anyExchange = anyExchange || step.kind == ShardStepKind::Exchange;
+        anyRemap = anyRemap || step.kind == ShardStepKind::Remap;
+    }
+    const std::size_t half = slice >> 1;
+    std::vector<std::vector<Complex>> recv(S);
+    std::vector<std::vector<Complex>> send(S);
+    for (std::size_t k = 0; k < S; ++k) {
+        if (anyExchange)
+            recv[k].resize(slice);
+        else if (anyRemap)
+            recv[k].resize(half);
+        if (anyRemap)
+            send[k].resize(half);
+    }
+    std::vector<TransportMessage> msgs;
+
+    for (const ShardStep &step : plan.steps()) {
+        switch (step.kind) {
+          case ShardStepKind::Local: {
+            OBS_SPAN("sim.shard_local");
+            const Plan &sub = *step.local;
+            forEachShard(pool, S, [&](std::size_t k) {
+                executeLocalSerial(sub, amps + k * slice, opts.blockQubits);
+            });
+            break;
+          }
+          case ShardStepKind::Diag: {
+            OBS_SPAN("sim.shard_diag");
+            forEachShard(pool, S, [&](std::size_t k) {
+                const DiagSelection sel = selectDiag(step, k, s);
+                apply1qDiag(amps + k * slice, L,
+                            sel.wholeSlice ? 0 : sel.localQubit, sel.d0,
+                            sel.d1);
+            });
+            break;
+          }
+          case ShardStepKind::Exchange: {
+            OBS_SPAN("sim.exchange");
+            OBS_COUNT("sim.exchanges", 1);
+            const std::size_t pm = std::size_t{1}
+                                   << (s - 1 - step.shardPos);
+            msgs.clear();
+            for (std::size_t k = 0; k < S; ++k)
+                msgs.push_back(
+                    {k, k ^ pm,
+                     reinterpret_cast<const double *>(amps + k * slice),
+                     reinterpret_cast<double *>(recv[k ^ pm].data()),
+                     slice * 2});
+            transport->exchange(msgs);
+            forEachShard(pool, S, [&](std::size_t k) {
+                exchangeUpdate(step, k, s, L, amps + k * slice,
+                               recv[k].data());
+            });
+            break;
+          }
+          case ShardStepKind::Remap: {
+            OBS_SPAN("sim.remap");
+            OBS_COUNT("sim.remaps", 1);
+            const std::size_t pm = std::size_t{1}
+                                   << (s - 1 - step.remapShardPos);
+            const std::size_t lpos = L - 1 - (step.remapLocalPos - s);
+            forEachShard(pool, S, [&](std::size_t k) {
+                const std::size_t moving =
+                    1 - shardBit(k, s, step.remapShardPos);
+                Complex *own = amps + k * slice;
+                Complex *buf = send[k].data();
+                for (std::size_t g = 0; g < half; ++g)
+                    buf[g] = own[remapOffset(g, lpos, moving)];
+            });
+            msgs.clear();
+            for (std::size_t k = 0; k < S; ++k)
+                msgs.push_back(
+                    {k, k ^ pm,
+                     reinterpret_cast<const double *>(send[k].data()),
+                     reinterpret_cast<double *>(recv[k ^ pm].data()),
+                     half * 2});
+            transport->exchange(msgs);
+            forEachShard(pool, S, [&](std::size_t k) {
+                const std::size_t moving =
+                    1 - shardBit(k, s, step.remapShardPos);
+                Complex *own = amps + k * slice;
+                const Complex *buf = recv[k].data();
+                for (std::size_t g = 0; g < half; ++g)
+                    own[remapOffset(g, lpos, moving)] = buf[g];
+            });
+            break;
+          }
+        }
+    }
+}
+
+void
+executeShardedBatched(const ShardPlan &plan, BatchState &batch,
+                      const ExecOptions &opts, Transport *transport)
+{
+    if (batch.numQubits() != plan.numQubits())
+        throw std::invalid_argument(
+            "executeShardedBatched: batch width does not match the "
+            "schedule width");
+    const std::size_t s = plan.shardBits();
+    const std::size_t L = plan.numQubits() - s;
+    const std::size_t S = plan.shardCount();
+    const std::size_t slice = plan.sliceDim();
+    const std::size_t lanes = batch.batch();
+    OBS_SPAN("sim.shard_plan_batched");
+
+    std::optional<ThreadPool> transient;
+    ExecOptions resolved = opts;
+    if (resolved.pool == nullptr && opts.threads != 1) {
+        transient.emplace(opts.threads);
+        resolved.pool = &*transient;
+    }
+    ThreadPool *pool = resolved.pool;
+
+    std::optional<InProcessTransport> inProcess;
+    if (transport == nullptr) {
+        inProcess.emplace(pool);
+        transport = &*inProcess;
+    }
+
+    bool anyExchange = false;
+    bool anyRemap = false;
+    for (const ShardStep &step : plan.steps()) {
+        anyExchange = anyExchange || step.kind == ShardStepKind::Exchange;
+        anyRemap = anyRemap || step.kind == ShardStepKind::Remap;
+    }
+    const std::size_t half = slice >> 1;
+    const std::size_t sliceDoubles = slice * lanes;
+    const std::size_t halfDoubles = half * lanes;
+    std::vector<std::vector<double>> recvRe(S), recvIm(S);
+    std::vector<std::vector<double>> sendRe(S), sendIm(S);
+    for (std::size_t k = 0; k < S; ++k) {
+        const std::size_t recvLen =
+            anyExchange ? sliceDoubles : (anyRemap ? halfDoubles : 0);
+        recvRe[k].resize(recvLen);
+        recvIm[k].resize(recvLen);
+        if (anyRemap) {
+            sendRe[k].resize(halfDoubles);
+            sendIm[k].resize(halfDoubles);
+        }
+    }
+    double *const re = batch.re();
+    double *const im = batch.im();
+    std::vector<TransportMessage> msgs;
+
+    for (const ShardStep &step : plan.steps()) {
+        switch (step.kind) {
+          case ShardStepKind::Local: {
+            OBS_SPAN("sim.shard_local");
+            const Plan &sub = *step.local;
+            forEachShard(pool, S, [&](std::size_t k) {
+                const std::size_t at = k * sliceDoubles;
+                for (const KernelOp &op : sub.ops())
+                    executeOpBatchedRaw(op, re + at, im + at, L, lanes);
+            });
+            break;
+          }
+          case ShardStepKind::Diag: {
+            OBS_SPAN("sim.shard_diag");
+            forEachShard(pool, S, [&](std::size_t k) {
+                const DiagSelection sel = selectDiag(step, k, s);
+                const std::size_t at = k * sliceDoubles;
+                apply1qDiagBatch(re + at, im + at, L, lanes,
+                                 sel.wholeSlice ? 0 : sel.localQubit,
+                                 sel.d0, sel.d1);
+            });
+            break;
+          }
+          case ShardStepKind::Exchange: {
+            OBS_SPAN("sim.exchange");
+            OBS_COUNT("sim.exchanges", 1);
+            const std::size_t pm = std::size_t{1}
+                                   << (s - 1 - step.shardPos);
+            msgs.clear();
+            for (std::size_t k = 0; k < S; ++k) {
+                const std::size_t at = k * sliceDoubles;
+                msgs.push_back({k, k ^ pm, re + at,
+                                recvRe[k ^ pm].data(), sliceDoubles});
+                msgs.push_back({k, k ^ pm, im + at,
+                                recvIm[k ^ pm].data(), sliceDoubles});
+            }
+            transport->exchange(msgs);
+            forEachShard(pool, S, [&](std::size_t k) {
+                const std::size_t at = k * sliceDoubles;
+                exchangeUpdateBatched(step, k, s, L, lanes, re + at,
+                                      im + at, recvRe[k].data(),
+                                      recvIm[k].data());
+            });
+            break;
+          }
+          case ShardStepKind::Remap: {
+            OBS_SPAN("sim.remap");
+            OBS_COUNT("sim.remaps", 1);
+            const std::size_t pm = std::size_t{1}
+                                   << (s - 1 - step.remapShardPos);
+            const std::size_t lpos = L - 1 - (step.remapLocalPos - s);
+            forEachShard(pool, S, [&](std::size_t k) {
+                const std::size_t moving =
+                    1 - shardBit(k, s, step.remapShardPos);
+                const std::size_t at = k * sliceDoubles;
+                for (std::size_t g = 0; g < half; ++g) {
+                    const std::size_t src =
+                        at + remapOffset(g, lpos, moving) * lanes;
+                    for (std::size_t t = 0; t < lanes; ++t) {
+                        sendRe[k][g * lanes + t] = re[src + t];
+                        sendIm[k][g * lanes + t] = im[src + t];
+                    }
+                }
+            });
+            msgs.clear();
+            for (std::size_t k = 0; k < S; ++k) {
+                msgs.push_back({k, k ^ pm, sendRe[k].data(),
+                                recvRe[k ^ pm].data(), halfDoubles});
+                msgs.push_back({k, k ^ pm, sendIm[k].data(),
+                                recvIm[k ^ pm].data(), halfDoubles});
+            }
+            transport->exchange(msgs);
+            forEachShard(pool, S, [&](std::size_t k) {
+                const std::size_t moving =
+                    1 - shardBit(k, s, step.remapShardPos);
+                const std::size_t at = k * sliceDoubles;
+                for (std::size_t g = 0; g < half; ++g) {
+                    const std::size_t dst =
+                        at + remapOffset(g, lpos, moving) * lanes;
+                    for (std::size_t t = 0; t < lanes; ++t) {
+                        re[dst + t] = recvRe[k][g * lanes + t];
+                        im[dst + t] = recvIm[k][g * lanes + t];
+                    }
+                }
+            });
+            break;
+          }
+        }
+    }
+}
+
+linalg::CVector
+runSharded(const Plan &plan, std::size_t shard_bits, const ExecOptions &opts,
+           const ShardOptions &shard_opts, Transport *transport)
+{
+    const ShardPlan sharded = compileSharded(plan, shard_bits, shard_opts);
+    linalg::CVector amps(plan.dim(), Complex{0.0, 0.0});
+    amps[0] = 1.0;
+    executeSharded(sharded, amps.data(), opts, transport);
+    return amps;
+}
+
+} // namespace sim
+} // namespace crisc

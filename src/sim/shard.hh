@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Sharded statevector execution: one register of width n split into
+ * S = 2^s shards keyed by the top s amplitude bits — under the
+ * library's qubit-0-is-MSB convention those are qubits 0..s-1 — with
+ * each shard owning the contiguous slice of 2^(n-s) amplitudes whose
+ * global indices share that shard's top bits. A shard's slice, read as
+ * a register of width n-s, addresses exactly the same index bits the
+ * full register does for qubits >= s (qubit q becomes local qubit
+ * q - s), so every op whose targets all lie at or above s runs on the
+ * existing *Range kernels completely unchanged — blocked nests, SoA
+ * batching, and runtime ISA dispatch included.
+ *
+ * compileSharded is the shard-scheduling pass: it walks a compiled
+ * Plan once, batches maximal runs of shard-local ops into width-(n-s)
+ * sub-plans, and lowers every shard-crossing op into one of three
+ * step kinds:
+ *
+ *   - Diag: a diagonal op with shard-bit targets needs no amplitude
+ *     motion at all — a shard-bit target selects diagonal entries per
+ *     shard (every amplitude of a shard agrees on that bit), so the op
+ *     degenerates to a per-shard local diagonal or a whole-slice
+ *     scale. Zero transport bytes.
+ *   - Exchange: a non-diagonal op with exactly one shard-bit target
+ *     pairs shards along that bit; each pair swaps full slices through
+ *     the Transport and every shard then computes its own output rows
+ *     from its slice plus the received one, replaying the serial
+ *     kernel's per-amplitude IEEE expression exactly. Costs
+ *     2 * 2^(n-s) * 16 bytes per shard pair per op.
+ *   - Remap: swap a shard bit with a cold local bit — a pure bit
+ *     permutation of the index space, so each shard ships only the
+ *     half-slice whose local bit disagrees with its shard bit (half
+ *     the bytes of an Exchange) and no arithmetic happens at all. The
+ *     pass tracks the resulting logical-to-physical layout exactly
+ *     like the Route pass tracks its qubit map, rewrites later ops
+ *     into the current frame, and emits closing remaps so the final
+ *     layout is canonical again.
+ *
+ * Lowering policy (ShardOptions::lowering): Auto remaps a crossing
+ * qubit out of the shard bits when it has at least one more
+ * non-diagonal use later in the plan — the remap's half-slice cost is
+ * amortized across every later op that thereby became local — and
+ * exchanges one-shot crossings; NaiveExchange exchanges every crossing
+ * (the baseline the benchmark compares against). Ops that cannot
+ * exchange (Dense, or a 4x4 with both targets on shard bits) always
+ * remap out. PlanStats::exchangeOps / remapOps count the lowered
+ * steps.
+ *
+ * The contract is the library-wide one: executeSharded produces
+ * bit-identical amplitudes to serial execution of the same plan for
+ * every shard count, thread count, SoA lane count, block exponent,
+ * and forced ISA backend. Exchange updates replicate the serial
+ * kernels' per-amplitude expression order, remaps and diag selections
+ * perform no reordering arithmetic at all, and local steps *are* the
+ * ordinary kernels.
+ */
+
+#ifndef CRISC_SIM_SHARD_HH
+#define CRISC_SIM_SHARD_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/transport.hh"
+
+namespace crisc {
+namespace sim {
+
+/** How compileSharded lowers shard-crossing ops. */
+enum class ShardLowering
+{
+    /** Remap multi-use crossing qubits to local bits, exchange
+     *  one-shot crossings: minimizes transported bytes. */
+    Auto,
+    /** Exchange every crossing that can exchange; remap only when
+     *  forced (Dense, both-shard-bit 4x4). The benchmark baseline. */
+    NaiveExchange,
+};
+
+/** Options for compileSharded. */
+struct ShardOptions
+{
+    ShardLowering lowering = ShardLowering::Auto;
+};
+
+/** Step kinds of a sharded schedule. */
+enum class ShardStepKind
+{
+    Local,    ///< run of shard-local ops as a width-(n-s) sub-plan.
+    Diag,     ///< diagonal op with shard-bit targets; no transport.
+    Exchange, ///< pairwise full-slice exchange + local update.
+    Remap,    ///< shard-bit/local-bit swap; half-slice permutation.
+};
+
+/**
+ * One step of a sharded schedule. Gate-target fields hold *physical
+ * positions* in [0, n): position j addresses global index bit n-1-j,
+ * positions below s are shard bits, and the compile-time layout
+ * tracking has already folded every remap into them.
+ */
+struct ShardStep
+{
+    ShardStepKind kind = ShardStepKind::Local;
+
+    /** Local: the sub-plan (width n-s) every shard executes. */
+    std::shared_ptr<const Plan> local;
+
+    /** Diag / Exchange: the lowered op's kind and matrix (diagonal
+     *  entries in m[0..1] / m[0..3] for diag kinds, the dense 2x2 /
+     *  4x4 otherwise). */
+    KernelKind opKind = KernelKind::OneQ;
+    std::array<Complex, 16> m{};
+    /** Diag / Exchange: physical position of the op's most significant
+     *  gate qubit (q0), and of q1 for two-qubit kinds. */
+    std::size_t posHi = 0;
+    std::size_t posLo = 0;
+
+    /** Exchange: the crossing target's shard position (< s). */
+    std::size_t shardPos = 0;
+    /** Exchange (TwoQ): the other target's local position (>= s). */
+    std::size_t localPos = 0;
+    /** Exchange (TwoQ): true when q0 (the most significant gate qubit)
+     *  is the shard-side target. */
+    bool hiIsShard = false;
+
+    /** Remap: the swapped shard position (< s) and local position
+     *  (>= s). */
+    std::size_t remapShardPos = 0;
+    std::size_t remapLocalPos = 0;
+};
+
+/** A compiled sharded schedule for a fixed (width, shard count). */
+class ShardPlan
+{
+  public:
+    ShardPlan(std::size_t num_qubits, std::size_t shard_bits,
+              std::vector<ShardStep> steps, PlanStats stats);
+
+    std::size_t numQubits() const { return nQubits_; }
+    std::size_t shardBits() const { return shardBits_; }
+    /** S = 2^s shards. */
+    std::size_t shardCount() const { return std::size_t{1} << shardBits_; }
+    /** Amplitudes per shard slice, 2^(n-s). */
+    std::size_t sliceDim() const
+    {
+        return std::size_t{1} << (nQubits_ - shardBits_);
+    }
+    const std::vector<ShardStep> &steps() const { return steps_; }
+    /** Base-plan stats plus exchangeOps / remapOps from the pass. */
+    const PlanStats &stats() const { return stats_; }
+
+    /**
+     * Payload bytes one execution moves through the Transport for a
+     * per-state (interleaved Complex) register: full slices per shard
+     * per Exchange, half slices per Remap. SoA-batched execution moves
+     * this times the lane count.
+     */
+    std::uint64_t plannedTransportBytes() const;
+
+  private:
+    std::size_t nQubits_;
+    std::size_t shardBits_;
+    std::vector<ShardStep> steps_;
+    PlanStats stats_;
+};
+
+/**
+ * Resolves the ExecOptions::shardBits knob for an n-qubit plan: 0 =
+ * auto (the CRISC_SHARDS environment variable when set — see
+ * sim/env.hh — otherwise unsharded), s >= 1 forces 2^s shards. Any
+ * resolved value is clamped to n - 1 so every shard keeps at least
+ * two amplitudes of local index space. A return of 0 means "execute
+ * unsharded".
+ */
+std::size_t resolveShardBits(std::size_t requested, std::size_t n_qubits);
+
+/**
+ * The shard-scheduling pass: lowers @p plan into a ShardPlan for
+ * 2^shard_bits shards. shard_bits == 0 yields a single Local step
+ * (the schedule degenerates to the plan itself).
+ * @throws std::invalid_argument when shard_bits >= the plan width.
+ * @throws std::runtime_error when an op cannot be lowered (a Dense op
+ *         too wide to remap fully local — it needs as many free local
+ *         positions as it has shard-bit targets).
+ */
+ShardPlan compileSharded(const Plan &plan, std::size_t shard_bits,
+                         const ShardOptions &opts = {});
+
+/**
+ * Executes a sharded schedule in place on a full 2^n statevector laid
+ * out as S contiguous slices (this process holds every shard; an
+ * out-of-process deployment would hold one slice per rank and an MPI
+ * Transport). Shards execute local steps as pool tasks per @p opts
+ * (ExecOptions::threads / pool — the same knobs as unsharded
+ * execution; ExecOptions::blockQubits applies within each shard's
+ * sub-plans); crossing steps move amplitudes through @p transport,
+ * or a call-local InProcessTransport when none is given. Bit-identical
+ * to plan.execute(amps) for every configuration.
+ */
+void executeSharded(const ShardPlan &plan, Complex *amps,
+                    const ExecOptions &opts = {},
+                    Transport *transport = nullptr);
+
+/**
+ * executeSharded on every lane of an SoA batch (batch_state.hh): lane
+ * t ends bit-identical to serial execution on statevector t. Local
+ * steps run the batched kernels per shard (unblocked full sweeps —
+ * slices of batched registers at sharding widths exceed cache-block
+ * footprints anyway); crossing steps move the re/im planes as separate
+ * transport messages.
+ * @throws std::invalid_argument when the batch width does not match
+ *         the schedule width.
+ */
+void executeShardedBatched(const ShardPlan &plan, BatchState &batch,
+                           const ExecOptions &opts = {},
+                           Transport *transport = nullptr);
+
+/** Compiles and executes @p plan sharded on |0...0>; convenience for
+ *  tests and benchmarks. */
+linalg::CVector runSharded(const Plan &plan, std::size_t shard_bits,
+                           const ExecOptions &opts = {},
+                           const ShardOptions &shard_opts = {},
+                           Transport *transport = nullptr);
+
+} // namespace sim
+} // namespace crisc
+
+#endif // CRISC_SIM_SHARD_HH

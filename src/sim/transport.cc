@@ -1,0 +1,39 @@
+#include "transport.hh"
+
+#include <cstring>
+
+#include "batch.hh"
+#include "obs/obs.hh"
+
+namespace crisc {
+namespace sim {
+
+void
+InProcessTransport::exchange(const std::vector<TransportMessage> &batch)
+{
+    OBS_SPAN("sim.transport.exchange");
+    // Worth a parallel fan-out only when each copy is large enough to
+    // amortize the fork/join — one LLC's worth across the batch.
+    constexpr std::uint64_t kParallelBytes = std::uint64_t{32} * 1024 * 1024;
+    std::uint64_t total = 0;
+    for (const TransportMessage &m : batch)
+        total += std::uint64_t{m.count} * sizeof(double);
+
+    if (pool_ != nullptr && pool_->size() > 1 && batch.size() > 1 &&
+        total >= kParallelBytes) {
+        pool_->parallelFor(batch.size(), [&](std::size_t i) {
+            const TransportMessage &m = batch[i];
+            if (m.count != 0)
+                std::memcpy(m.dst, m.src, m.count * sizeof(double));
+        });
+    } else {
+        for (const TransportMessage &m : batch)
+            if (m.count != 0)
+                std::memcpy(m.dst, m.src, m.count * sizeof(double));
+    }
+    bytes_ += total;
+    OBS_COUNT("sim.exchange_bytes", total);
+}
+
+} // namespace sim
+} // namespace crisc

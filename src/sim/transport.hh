@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Amplitude transport between statevector shards (sim/shard.hh).
+ *
+ * Sharded execution splits one register across S = 2^s address spaces;
+ * shard-crossing ops are lowered into bulk amplitude moves between
+ * shard pairs. Transport is the seam those moves go through: the shard
+ * executor describes a whole crossing step as a batch of flat
+ * double-precision copy descriptors, and an implementation carries
+ * them however the deployment demands — memcpy inside one process
+ * today, sockets or MPI between machines later. The interface is
+ * deliberately sized for that future:
+ *
+ *   - messages are raw double spans, not Complex, so both the
+ *     interleaved per-state layout (re,im pairs) and the SoA batch
+ *     slabs (separate re/im planes, batch_state.hh) ship through the
+ *     same calls without a marshalling layer;
+ *   - exchange() takes the whole step's message batch at once and is a
+ *     barrier collective: when it returns, every destination span
+ *     holds its payload and no source span is read again — exactly the
+ *     contract an MPI_Alltoallv or a socket round needs, and exactly
+ *     what the executor's read-own-plus-received update phase assumes;
+ *   - shards are addressed by index (Message::from / Message::to), so
+ *     an out-of-process transport can map them to ranks or endpoints
+ *     without the executor knowing.
+ *
+ * Transports move bytes; they never do arithmetic. Bit-identity of
+ * sharded execution therefore never depends on the transport choice.
+ */
+
+#ifndef CRISC_SIM_TRANSPORT_HH
+#define CRISC_SIM_TRANSPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crisc {
+namespace sim {
+
+class ThreadPool;
+
+/** One flat copy between two shards' address spaces. Spans must not
+ *  overlap; `src` stays valid and unmodified until the enclosing
+ *  exchange() returns. */
+struct TransportMessage
+{
+    std::size_t from = 0;       ///< source shard index.
+    std::size_t to = 0;         ///< destination shard index.
+    const double *src = nullptr;
+    double *dst = nullptr;
+    std::size_t count = 0;      ///< doubles to move.
+};
+
+/**
+ * Carrier for shard-crossing amplitude moves. Implementations are
+ * driven from one thread (the shard executor serializes crossing
+ * steps); bytesMoved() is cumulative over the transport's lifetime so
+ * benchmarks can meter a whole plan execution.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Delivers every message in @p batch, then returns. A barrier
+     * collective: on return all destination spans are written and all
+     * source spans may be reused.
+     */
+    virtual void exchange(const std::vector<TransportMessage> &batch) = 0;
+
+    /** Total payload bytes delivered by all exchange() calls so far. */
+    virtual std::uint64_t bytesMoved() const = 0;
+};
+
+/**
+ * The in-process transport: every shard lives in this address space,
+ * so delivery is memcpy. Large batches are spread over @p pool when
+ * one is given (the same worker pool the shard executor runs local
+ * sweeps on); results are byte-identical either way.
+ */
+class InProcessTransport : public Transport
+{
+  public:
+    explicit InProcessTransport(ThreadPool *pool = nullptr) : pool_(pool) {}
+
+    void exchange(const std::vector<TransportMessage> &batch) override;
+    std::uint64_t bytesMoved() const override { return bytes_; }
+
+  private:
+    ThreadPool *pool_;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace sim
+} // namespace crisc
+
+#endif // CRISC_SIM_TRANSPORT_HH

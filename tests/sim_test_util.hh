@@ -1,9 +1,13 @@
 /**
  * @file
- * Shared statevector test fixtures: a seeded random normalized state
- * and an element-wise max-difference metric, used by the simulation
- * (test_sim.cc) and SIMD-equivalence (test_simd.cc) suites so both
- * exercise identical state generation.
+ * Shared statevector test fixtures: a seeded random normalized state,
+ * an element-wise max-difference metric, a bitwise-equality predicate,
+ * a random circuit covering all five KernelKinds, and a scoped
+ * environment-variable override that drops the sim/env.hh parse caches.
+ * Used by the simulation (test_sim.cc), SIMD-equivalence
+ * (test_simd.cc), blocked-execution (test_blocked.cc), and sharded
+ * (test_shard.cc) suites so they all exercise identical state and
+ * circuit generation.
  */
 
 #ifndef CRISC_TESTS_SIM_TEST_UTIL_HH
@@ -11,9 +15,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
+#include "circuit/circuit.hh"
 #include "linalg/matrix.hh"
 #include "linalg/random.hh"
+#include "qop/gates.hh"
+#include "sim/env.hh"
 
 namespace crisc {
 namespace testutil {
@@ -43,6 +52,99 @@ maxDiff(const linalg::CVector &a, const linalg::CVector &b)
         m = std::max(m, std::abs(a[i] - b[i]));
     return m;
 }
+
+/** Exact bitwise equality of two equal-length statevectors. */
+inline bool
+bitIdentical(const linalg::CVector &a, const linalg::CVector &b)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].real() != b[i].real() || a[i].imag() != b[i].imag())
+            return false;
+    return true;
+}
+
+/**
+ * Random circuit whose compiled plan (with fusion off) covers all five
+ * KernelKinds: dense and diagonal 1q, dense and diagonal 2q, and the
+ * k = 3 dense fallback.
+ */
+inline circuit::Circuit
+randomCircuit(linalg::Rng &rng, std::size_t n, std::size_t gates)
+{
+    circuit::Circuit c(n);
+    for (std::size_t g = 0; g < gates; ++g) {
+        const std::size_t kind = rng.index(6);
+        const std::size_t a = rng.index(n);
+        std::size_t b = rng.index(n - 1);
+        if (b >= a)
+            ++b;
+        switch (kind) {
+          case 0:
+            c.add(linalg::haarUnitary(rng, 2), {a}, "u1");
+            break;
+          case 1:
+            c.add(qop::rz(rng.uniform(0.0, 6.28)), {a}, "rz");
+            break;
+          case 2:
+            c.add(linalg::haarSU(rng, 4), {a, b}, "u2");
+            break;
+          case 3:
+            c.add(qop::cz(), {a, b}, "cz");
+            break;
+          case 4:
+            c.add(qop::cnot(), {a, b}, "cx");
+            break;
+          default: {
+            std::size_t d = rng.index(n - 2);
+            for (std::size_t q : {std::min(a, b), std::max(a, b)})
+                if (d >= q)
+                    ++d;
+            c.add(linalg::haarUnitary(rng, 8), {a, b, d}, "u3");
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+/**
+ * Pins one environment variable for a scope and restores the old value
+ * on exit, dropping the sim/env.hh parse caches on both transitions so
+ * the next accessor call re-reads the environment. Pass nullptr to
+ * unset the variable for the scope.
+ */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value == nullptr)
+            unsetenv(name);
+        else
+            setenv(name, value, 1);
+        sim::env::resetForTesting();
+    }
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+        sim::env::resetForTesting();
+    }
+
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    std::string name_;
+    bool hadOld_ = false;
+    std::string old_;
+};
 
 } // namespace testutil
 } // namespace crisc

@@ -8,12 +8,11 @@
  * five KernelKinds. The suite also pins the blockable-segment
  * partition (blockSegments and the PlanStats counters), the
  * cache-geometry helpers in sim/cache.hh (CRISC_BLOCK_BYTES override,
- * clamping, the auto/forced resolution bands), and the planBatch
- * blocking heuristic.
+ * clamping, the reject-loud sim/env.hh parse, the auto/forced
+ * resolution bands), and the planBatch blocking heuristic.
  */
 
-#include <cstdlib>
-#include <string>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -33,88 +32,19 @@ using namespace crisc;
 using linalg::Complex;
 using linalg::CVector;
 using linalg::Matrix;
+using testutil::bitIdentical;
+using testutil::randomCircuit;
 using testutil::randomState;
 
-bool
-bitIdentical(const CVector &a, const CVector &b)
-{
-    for (std::size_t i = 0; i < a.size(); ++i)
-        if (a[i].real() != b[i].real() || a[i].imag() != b[i].imag())
-            return false;
-    return true;
-}
-
 /** Pins CRISC_BLOCK_BYTES for one scope and restores the old value. */
-class ScopedBlockBytes
+class ScopedBlockBytes : public testutil::ScopedEnv
 {
   public:
     explicit ScopedBlockBytes(const char *value)
+        : ScopedEnv("CRISC_BLOCK_BYTES", value)
     {
-        const char *old = std::getenv("CRISC_BLOCK_BYTES");
-        hadOld_ = old != nullptr;
-        if (hadOld_)
-            old_ = old;
-        if (value == nullptr)
-            unsetenv("CRISC_BLOCK_BYTES");
-        else
-            setenv("CRISC_BLOCK_BYTES", value, 1);
     }
-    ~ScopedBlockBytes()
-    {
-        if (hadOld_)
-            setenv("CRISC_BLOCK_BYTES", old_.c_str(), 1);
-        else
-            unsetenv("CRISC_BLOCK_BYTES");
-    }
-
-  private:
-    bool hadOld_ = false;
-    std::string old_;
 };
-
-/**
- * Random circuit whose compiled plan (with fusion off) covers all five
- * KernelKinds: dense and diagonal 1q, dense and diagonal 2q, and the
- * k = 3 dense fallback.
- */
-circuit::Circuit
-randomCircuit(linalg::Rng &rng, std::size_t n, std::size_t gates)
-{
-    circuit::Circuit c(n);
-    for (std::size_t g = 0; g < gates; ++g) {
-        const std::size_t kind = rng.index(6);
-        const std::size_t a = rng.index(n);
-        std::size_t b = rng.index(n - 1);
-        if (b >= a)
-            ++b;
-        switch (kind) {
-          case 0:
-            c.add(linalg::haarUnitary(rng, 2), {a}, "u1");
-            break;
-          case 1:
-            c.add(qop::rz(rng.uniform(0.0, 6.28)), {a}, "rz");
-            break;
-          case 2:
-            c.add(linalg::haarSU(rng, 4), {a, b}, "u2");
-            break;
-          case 3:
-            c.add(qop::cz(), {a, b}, "cz");
-            break;
-          case 4:
-            c.add(qop::cnot(), {a, b}, "cx");
-            break;
-          default: {
-            std::size_t d = rng.index(n - 2);
-            for (std::size_t q : {std::min(a, b), std::max(a, b)})
-                if (d >= q)
-                    ++d;
-            c.add(linalg::haarUnitary(rng, 8), {a, b, d}, "u3");
-            break;
-          }
-        }
-    }
-    return c;
-}
 
 sim::Plan
 compileUnfused(const circuit::Circuit &c)
@@ -145,15 +75,22 @@ TEST(Cache, EnvOverrideWinsAndClamps)
     }
 }
 
-TEST(Cache, UnparsableOrZeroOverrideFallsThrough)
+TEST(Cache, EmptyOrZeroOverrideFallsThroughGarbageThrows)
 {
     ScopedBlockBytes unset(nullptr);
     const std::size_t detected = sim::cacheBlockBytes();
     EXPECT_GE(detected, sim::kMinBlockBytes);
     EXPECT_LE(detected, sim::kMaxBlockBytes);
-    for (const char *bad : {"banana", "", "0", "12abc"}) {
+    // Unset / empty / "0" mean "no override" (sim/env.hh).
+    for (const char *off : {"", "0"}) {
+        ScopedBlockBytes env(off);
+        EXPECT_EQ(sim::cacheBlockBytes(), detected) << "'" << off << "'";
+    }
+    // Anything unparsable is rejected loudly, never silently ignored.
+    for (const char *bad : {"banana", "12abc", "-4", " 8"}) {
         ScopedBlockBytes env(bad);
-        EXPECT_EQ(sim::cacheBlockBytes(), detected) << "'" << bad << "'";
+        EXPECT_THROW(sim::cacheBlockBytes(), std::invalid_argument)
+            << "'" << bad << "'";
     }
 }
 

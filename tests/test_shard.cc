@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Sharded-execution suite (fast; runs under the CI sanitizer matrix).
+ * compileSharded splits a register into S = 2^s shards keyed by the
+ * top s amplitude bits and lowers shard-crossing ops into Diag /
+ * Exchange / Remap steps (sim/shard.hh); executeSharded must stay
+ * bit-identical to serial plan execution for every shard count, thread
+ * count, SoA lane count, block exponent, and forced ISA backend, over
+ * random circuits covering all five KernelKinds. The suite also pins
+ * the lowering policy (PlanStats::exchangeOps / remapOps on a
+ * brick-layer plan, Auto vs NaiveExchange), the transported-byte
+ * accounting against the 2 * 2^(n-s) * 16 bound per crossing pair,
+ * the CRISC_SHARDS resolution rules, and the InProcessTransport.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "linalg/random.hh"
+#include "qop/gates.hh"
+#include "sim/batch.hh"
+#include "sim/batch_state.hh"
+#include "sim/dispatch.hh"
+#include "sim/engine.hh"
+#include "sim/shard.hh"
+#include "sim/transport.hh"
+#include "sim_test_util.hh"
+
+namespace {
+
+using namespace crisc;
+using linalg::Complex;
+using linalg::CVector;
+using testutil::bitIdentical;
+using testutil::randomCircuit;
+using testutil::randomState;
+using testutil::ScopedEnv;
+
+sim::Plan
+compileUnfused(const circuit::Circuit &c)
+{
+    return sim::compile(c,
+                        {.fuseSingleQubit = false, .fuseTwoQubit = false});
+}
+
+/** Restores the auto-probed kernel backend on scope exit. */
+class DispatchRestore
+{
+  public:
+    ~DispatchRestore() { sim::setDispatchOverride("auto"); }
+};
+
+// ---------------------------------------------------------------------
+// Shard-bit resolution (ExecOptions::shardBits / CRISC_SHARDS).
+// ---------------------------------------------------------------------
+
+TEST(ShardResolve, ExplicitRequestClampsToWidthMinusOne)
+{
+    ScopedEnv unset("CRISC_SHARDS", nullptr);
+    EXPECT_EQ(sim::resolveShardBits(0, 10), 0u);
+    EXPECT_EQ(sim::resolveShardBits(3, 10), 3u);
+    EXPECT_EQ(sim::resolveShardBits(9, 10), 9u);
+    EXPECT_EQ(sim::resolveShardBits(10, 10), 9u);
+    EXPECT_EQ(sim::resolveShardBits(40, 10), 9u);
+    EXPECT_EQ(sim::resolveShardBits(3, 0), 0u);
+}
+
+TEST(ShardResolve, EnvShardCountTranslatesToBits)
+{
+    {
+        ScopedEnv env("CRISC_SHARDS", "4");
+        EXPECT_EQ(sim::resolveShardBits(0, 10), 2u);
+        // An explicit request wins over the environment.
+        EXPECT_EQ(sim::resolveShardBits(1, 10), 1u);
+        // The env value clamps to the width like any other request.
+        EXPECT_EQ(sim::resolveShardBits(0, 3), 2u);
+    }
+    {
+        ScopedEnv env("CRISC_SHARDS", "1"); // one shard = unsharded
+        EXPECT_EQ(sim::resolveShardBits(0, 10), 0u);
+    }
+    {
+        ScopedEnv env("CRISC_SHARDS", "16");
+        EXPECT_EQ(sim::resolveShardBits(0, 10), 4u);
+    }
+}
+
+TEST(ShardResolve, EnvRejectsGarbageLoudly)
+{
+    for (const char *bad : {"banana", "12abc", "-2", "0", "6", "12"}) {
+        ScopedEnv env("CRISC_SHARDS", bad);
+        EXPECT_THROW(sim::resolveShardBits(0, 10), std::invalid_argument)
+            << "'" << bad << "'";
+    }
+}
+
+TEST(ShardCompile, ValidatesShardBitsAgainstWidth)
+{
+    linalg::Rng rng(7);
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, 6, 10));
+    EXPECT_THROW(sim::compileSharded(plan, 6), std::invalid_argument);
+    EXPECT_THROW(sim::compileSharded(plan, 9), std::invalid_argument);
+
+    // s = 0 degenerates to the plan itself: one Local step.
+    const sim::ShardPlan flat = sim::compileSharded(plan, 0);
+    ASSERT_EQ(flat.steps().size(), 1u);
+    EXPECT_EQ(flat.steps()[0].kind, sim::ShardStepKind::Local);
+    EXPECT_EQ(flat.shardCount(), 1u);
+    EXPECT_EQ(flat.stats().exchangeOps, 0u);
+    EXPECT_EQ(flat.stats().remapOps, 0u);
+    EXPECT_EQ(flat.plannedTransportBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Lowering policy pins.
+// ---------------------------------------------------------------------
+
+TEST(ShardCompile, OneShotCrossingExchangesUnderAuto)
+{
+    linalg::Rng rng(11);
+    circuit::Circuit c(6);
+    c.add(linalg::haarSU(rng, 4), {0, 3}, "u2"); // qubit 0 never reused
+    const sim::ShardPlan sp = sim::compileSharded(compileUnfused(c), 1);
+    ASSERT_EQ(sp.steps().size(), 1u);
+    EXPECT_EQ(sp.steps()[0].kind, sim::ShardStepKind::Exchange);
+    EXPECT_EQ(sp.stats().exchangeOps, 1u);
+    EXPECT_EQ(sp.stats().remapOps, 0u);
+    // One exchange moves every shard's full slice: S * 2^(n-s) * 16
+    // bytes, i.e. exactly 2 * 2^(n-s) * 16 per shard pair — the
+    // acceptance bound with equality.
+    const std::uint64_t sliceBytes = sp.sliceDim() * sizeof(Complex);
+    EXPECT_EQ(sp.plannedTransportBytes(), sp.shardCount() * sliceBytes);
+}
+
+TEST(ShardCompile, ReusedCrossingRemapsUnderAutoButNotNaive)
+{
+    // Brick-style reuse of qubit 0 across three two-qubit gates: Auto
+    // pulls it local once (plus the closing restore), NaiveExchange
+    // pays a full-slice exchange per gate.
+    linalg::Rng rng(13);
+    circuit::Circuit c(6);
+    c.add(linalg::haarSU(rng, 4), {0, 3}, "a");
+    c.add(linalg::haarUnitary(rng, 2), {1}, "b");
+    c.add(linalg::haarSU(rng, 4), {0, 2}, "c");
+    c.add(linalg::haarSU(rng, 4), {0, 3}, "d");
+    const sim::Plan plan = compileUnfused(c);
+
+    const sim::ShardPlan autoPlan = sim::compileSharded(plan, 1);
+    EXPECT_EQ(autoPlan.stats().exchangeOps, 0u);
+    EXPECT_EQ(autoPlan.stats().remapOps, 2u);
+
+    const sim::ShardPlan naive = sim::compileSharded(
+        plan, 1, {.lowering = sim::ShardLowering::NaiveExchange});
+    EXPECT_EQ(naive.stats().exchangeOps, 3u);
+    EXPECT_EQ(naive.stats().remapOps, 0u);
+
+    // The remap lowering halves the per-step payload and amortizes it:
+    // strictly fewer transported bytes than the naive lowering.
+    EXPECT_LT(autoPlan.plannedTransportBytes(),
+              naive.plannedTransportBytes());
+
+    // Both lowerings stay bit-identical to serial execution.
+    linalg::Rng srng(14);
+    const CVector init = randomState(srng, 6);
+    CVector ref = init;
+    sim::execute(plan, ref.data());
+    for (const sim::ShardPlan *sp : {&autoPlan, &naive}) {
+        CVector amps = init;
+        sim::executeSharded(*sp, amps.data());
+        EXPECT_TRUE(bitIdentical(amps, ref));
+    }
+}
+
+TEST(ShardCompile, DiagonalCrossingsMoveNoBytes)
+{
+    circuit::Circuit c(6);
+    c.add(qop::rz(0.7), {0}, "rz");     // shard-bit 1q diagonal
+    c.add(qop::cz(), {0, 1}, "cz01");   // both targets shard bits at s=2
+    c.add(qop::cz(), {0, 4}, "cz04");   // shard + local target
+    const sim::Plan plan = compileUnfused(c);
+    const sim::ShardPlan sp = sim::compileSharded(plan, 2);
+    EXPECT_EQ(sp.stats().exchangeOps, 0u);
+    EXPECT_EQ(sp.stats().remapOps, 0u);
+    EXPECT_EQ(sp.plannedTransportBytes(), 0u);
+    for (const sim::ShardStep &step : sp.steps())
+        EXPECT_EQ(step.kind, sim::ShardStepKind::Diag);
+
+    linalg::Rng rng(15);
+    const CVector init = randomState(rng, 6);
+    CVector ref = init;
+    sim::execute(plan, ref.data());
+    CVector amps = init;
+    sim::InProcessTransport transport;
+    sim::executeSharded(sp, amps.data(), {}, &transport);
+    EXPECT_TRUE(bitIdentical(amps, ref));
+    EXPECT_EQ(transport.bytesMoved(), 0u);
+}
+
+TEST(ShardCompile, DenseCrossingRemapsFullyLocalOrThrows)
+{
+    linalg::Rng rng(17);
+    {
+        circuit::Circuit c(6);
+        c.add(linalg::haarUnitary(rng, 8), {0, 1, 2}, "u3");
+        const sim::Plan plan = compileUnfused(c);
+        const sim::ShardPlan sp = sim::compileSharded(plan, 2);
+        // Two shard-bit targets pulled local, then restored.
+        EXPECT_EQ(sp.stats().remapOps, 4u);
+        EXPECT_EQ(sp.stats().exchangeOps, 0u);
+
+        const CVector init = randomState(rng, 6);
+        CVector ref = init;
+        sim::execute(plan, ref.data());
+        CVector amps = init;
+        sim::executeSharded(sp, amps.data());
+        EXPECT_TRUE(bitIdentical(amps, ref));
+    }
+    {
+        // n = 4, s = 3 leaves one local position for a 3-qubit dense
+        // op's two remaining shard-bit targets: impossible, loud.
+        circuit::Circuit c(4);
+        c.add(linalg::haarUnitary(rng, 8), {0, 1, 2}, "u3");
+        EXPECT_THROW(sim::compileSharded(compileUnfused(c), 3),
+                     std::runtime_error);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bitwise equivalence: sharded vs. serial, every configuration.
+// ---------------------------------------------------------------------
+
+TEST(ShardedExecution, BitIdenticalForEveryShardThreadAndBlockCombination)
+{
+    linalg::Rng rng(23);
+    const std::size_t n = 10;
+    bool sawKind[5] = {false, false, false, false, false};
+    for (int rep = 0; rep < 2; ++rep) {
+        const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 40));
+        for (const sim::KernelOp &op : plan.ops())
+            sawKind[static_cast<int>(op.kind)] = true;
+
+        const CVector init = randomState(rng, n);
+        CVector ref = init;
+        sim::execute(plan, ref.data()); // serial unsharded reference
+
+        for (const std::size_t s : {0, 1, 2}) {
+            for (const auto lowering : {sim::ShardLowering::Auto,
+                                        sim::ShardLowering::NaiveExchange}) {
+                const sim::ShardPlan sp =
+                    sim::compileSharded(plan, s, {.lowering = lowering});
+                for (const std::size_t threads : {1, 2, 4}) {
+                    for (const std::size_t block : {0, 4}) {
+                        CVector amps = init;
+                        sim::ExecOptions opts;
+                        opts.threads = threads;
+                        opts.blockQubits = block;
+                        sim::executeSharded(sp, amps.data(), opts);
+                        EXPECT_TRUE(bitIdentical(amps, ref))
+                            << "s=" << s << " threads=" << threads
+                            << " block=" << block << " naive="
+                            << (lowering ==
+                                sim::ShardLowering::NaiveExchange)
+                            << " rep=" << rep;
+                    }
+                }
+            }
+        }
+    }
+    for (int k = 0; k < 5; ++k)
+        EXPECT_TRUE(sawKind[k]) << "kernel kind " << k << " never hit";
+}
+
+TEST(ShardedExecution, BatchedLanesMatchSerialPerLane)
+{
+    linalg::Rng rng(29);
+    const std::size_t n = 9;
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 30));
+    for (const std::size_t s : {1, 2}) {
+        const sim::ShardPlan sp = sim::compileSharded(plan, s);
+        for (const std::size_t lanes : {1, 4}) {
+            std::vector<CVector> states;
+            for (std::size_t l = 0; l < lanes; ++l)
+                states.push_back(randomState(rng, n));
+            sim::BatchState batch = sim::BatchState::pack(states);
+            sim::ExecOptions opts;
+            opts.threads = 2;
+            sim::executeShardedBatched(sp, batch, opts);
+            for (std::size_t l = 0; l < lanes; ++l) {
+                CVector lref = states[l];
+                sim::execute(plan, lref.data());
+                EXPECT_TRUE(bitIdentical(batch.unpackLane(l), lref))
+                    << "s=" << s << " lane=" << l << "/" << lanes;
+            }
+        }
+    }
+
+    sim::BatchState mismatch(n - 1, 2);
+    EXPECT_THROW(
+        sim::executeShardedBatched(sim::compileSharded(plan, 1), mismatch),
+        std::invalid_argument);
+}
+
+TEST(ShardedExecution, ForcedScalarBackendStaysBitIdentical)
+{
+    DispatchRestore restore;
+    sim::setDispatchOverride("scalar");
+    linalg::Rng rng(31);
+    const std::size_t n = 9;
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 30));
+    const CVector init = randomState(rng, n);
+    CVector ref = init;
+    sim::execute(plan, ref.data());
+    for (const std::size_t s : {1, 2}) {
+        CVector amps = init;
+        sim::ExecOptions opts;
+        opts.threads = 2;
+        sim::executeSharded(sim::compileSharded(plan, s), amps.data(),
+                            opts);
+        EXPECT_TRUE(bitIdentical(amps, ref)) << "s=" << s;
+    }
+}
+
+TEST(ShardedExecution, TransportMetersExactlyThePlannedBytes)
+{
+    linalg::Rng rng(37);
+    const std::size_t n = 8;
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 24));
+    for (const std::size_t s : {1, 2}) {
+        const sim::ShardPlan sp = sim::compileSharded(plan, s);
+        CVector amps = randomState(rng, n);
+        sim::InProcessTransport transport;
+        sim::executeSharded(sp, amps.data(), {}, &transport);
+        EXPECT_EQ(transport.bytesMoved(), sp.plannedTransportBytes())
+            << "s=" << s;
+        // Acceptance bound: a crossing step never moves more than
+        // 2 * 2^(n-s) * 16 bytes per shard pair.
+        const std::size_t crossings =
+            sp.stats().exchangeOps + sp.stats().remapOps;
+        if (crossings != 0) {
+            const std::uint64_t pairs =
+                std::uint64_t{sp.shardCount() / 2} * crossings;
+            EXPECT_LE(transport.bytesMoved(),
+                      pairs * 2 * sp.sliceDim() * sizeof(Complex));
+        }
+        // SoA execution moves the per-state payload per lane.
+        const std::size_t lanes = 3;
+        std::vector<CVector> states;
+        for (std::size_t l = 0; l < lanes; ++l)
+            states.push_back(randomState(rng, n));
+        sim::BatchState batch = sim::BatchState::pack(states);
+        sim::InProcessTransport batched;
+        sim::executeShardedBatched(sp, batch, {}, &batched);
+        EXPECT_EQ(batched.bytesMoved(),
+                  lanes * sp.plannedTransportBytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine routing: ExecOptions::shardBits and CRISC_SHARDS.
+// ---------------------------------------------------------------------
+
+TEST(ShardedExecution, ExecOptionsRouteThroughEngineExecute)
+{
+    ScopedEnv unset("CRISC_SHARDS", nullptr);
+    linalg::Rng rng(41);
+    const std::size_t n = 9;
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 30));
+    const CVector init = randomState(rng, n);
+    CVector ref = init;
+    sim::execute(plan, ref.data());
+
+    for (const std::size_t req : {1, 2, 3}) {
+        CVector amps = init;
+        sim::ExecOptions opts;
+        opts.shardBits = req;
+        opts.threads = 2;
+        sim::execute(plan, amps.data(), opts);
+        EXPECT_TRUE(bitIdentical(amps, ref)) << "req=" << req;
+    }
+    {
+        sim::BatchState batch = sim::BatchState::pack({init, init});
+        sim::ExecOptions opts;
+        opts.shardBits = 2;
+        sim::executeBatched(plan, batch, opts);
+        EXPECT_TRUE(bitIdentical(batch.unpackLane(0), ref));
+        EXPECT_TRUE(bitIdentical(batch.unpackLane(1), ref));
+    }
+}
+
+TEST(ShardedExecution, EnvShardsEngagesShardingInTheEngine)
+{
+    linalg::Rng rng(43);
+    const std::size_t n = 9;
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 30));
+    const CVector init = randomState(rng, n);
+    CVector ref = init;
+    sim::execute(plan, ref.data()); // 2-arg serial: never consults env
+
+    {
+        ScopedEnv env("CRISC_SHARDS", "4");
+        CVector amps = init;
+        sim::execute(plan, amps.data(), sim::ExecOptions{});
+        EXPECT_TRUE(bitIdentical(amps, ref));
+
+        sim::BatchState batch = sim::BatchState::pack({init});
+        sim::executeBatched(plan, batch, {});
+        EXPECT_TRUE(bitIdentical(batch.unpackLane(0), ref));
+    }
+    {
+        ScopedEnv env("CRISC_SHARDS", "6");
+        CVector amps = init;
+        EXPECT_THROW(sim::execute(plan, amps.data(), sim::ExecOptions{}),
+                     std::invalid_argument);
+    }
+}
+
+TEST(ShardedExecution, RunShardedMatchesSerialFromGroundState)
+{
+    ScopedEnv unset("CRISC_SHARDS", nullptr);
+    linalg::Rng rng(47);
+    const std::size_t n = 8;
+    const sim::Plan plan = compileUnfused(randomCircuit(rng, n, 20));
+    CVector ref(plan.dim(), Complex{0.0, 0.0});
+    ref[0] = 1.0;
+    sim::execute(plan, ref.data());
+    for (const std::size_t s : {0, 1, 2})
+        EXPECT_TRUE(bitIdentical(sim::runSharded(plan, s), ref))
+            << "s=" << s;
+}
+
+// ---------------------------------------------------------------------
+// InProcessTransport.
+// ---------------------------------------------------------------------
+
+TEST(Transport, InProcessDeliversAndMeters)
+{
+    std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> b = {5.0, 6.0, 7.0, 8.0};
+    std::vector<double> ra(4, 0.0), rb(4, 0.0);
+    sim::InProcessTransport transport;
+    transport.exchange({
+        {0, 1, a.data(), rb.data(), 4},
+        {1, 0, b.data(), ra.data(), 4},
+    });
+    EXPECT_EQ(ra, b);
+    EXPECT_EQ(rb, a);
+    EXPECT_EQ(transport.bytesMoved(), 2u * 4u * sizeof(double));
+
+    // Pooled delivery is byte-identical and cumulative.
+    sim::ThreadPool pool(2);
+    sim::InProcessTransport pooled(&pool);
+    pooled.exchange({{0, 1, a.data(), rb.data(), 4}});
+    pooled.exchange({{1, 0, b.data(), ra.data(), 4}});
+    EXPECT_EQ(ra, b);
+    EXPECT_EQ(rb, a);
+    EXPECT_EQ(pooled.bytesMoved(), 2u * 4u * sizeof(double));
+}
+
+} // namespace
